@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every bench regenerates one artefact of the paper (a table or a figure),
+prints the regenerated rows/series so they can be compared side-by-side with
+the paper, and asserts the *shape* claims (who wins, where the dips are).
+
+Frame counts for the heavy Table III run can be tuned via the
+``REPRO_TABLE3_FRAMES`` environment variable (default 100, the paper's
+count; set it lower for quick runs).
+"""
+
+import os
+
+import pytest
+
+
+def table3_frames() -> int:
+    return int(os.environ.get("REPRO_TABLE3_FRAMES", "100"))
+
+
+@pytest.fixture()
+def report():
+    """Print a titled block that survives pytest's capture (-s not needed
+    thanks to the terminal summary hook below)."""
+    blocks = []
+
+    def _report(title: str, body: str) -> None:
+        blocks.append((title, body))
+        print(f"\n=== {title} ===\n{body}")
+
+    yield _report

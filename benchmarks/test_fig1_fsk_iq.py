@@ -1,0 +1,49 @@
+"""Figure 1 — I/Q-plane representation of a 2-FSK modulation."""
+
+import numpy as np
+
+from repro.experiments.figures import fig1_fsk_iq
+
+
+def test_fig1_regeneration(benchmark, report):
+    data = benchmark(fig1_fsk_iq)
+
+    d_one = data["phase_one"][-1] - data["phase_one"][0]
+    d_zero = data["phase_zero"][-1] - data["phase_zero"][0]
+    radius = float(np.mean(np.hypot(data["i_one"], data["q_one"])))
+    report(
+        "Figure 1: 2-FSK phase rotation in the I/Q plane",
+        f"bit 1: phase advance {d_one:+.4f} rad  (counter-clockwise, f up)\n"
+        f"bit 0: phase advance {d_zero:+.4f} rad  (clockwise, f down)\n"
+        f"trajectory radius: {radius:.4f} (constant envelope)",
+    )
+
+    # The figure's two arrows: opposite rotation senses, equal magnitude.
+    assert d_one > 0 > d_zero
+    assert abs(d_one + d_zero) < 1e-9
+    # At the MSK index the rotation is a quarter turn per symbol.
+    assert d_one == (np.pi / 2) or abs(d_one - np.pi / 2) < 0.1
+    assert radius == 1.0 or abs(radius - 1.0) < 1e-9
+
+
+def test_fig1_index_sweep(benchmark, report):
+    """The rotation magnitude scales with the modulation index — the knob
+    that places BLE 'close enough' to MSK."""
+
+    def sweep():
+        out = {}
+        for h in (0.45, 0.5, 0.55):
+            data = fig1_fsk_iq(modulation_index=h)
+            out[h] = float(data["phase_one"][-1] - data["phase_one"][0])
+        return out
+
+    advances = benchmark(sweep)
+    report(
+        "Figure 1 companion: phase advance vs modulation index",
+        "\n".join(
+            f"h={h}: {adv:+.4f} rad ({adv / (np.pi / 2):.3f} x pi/2)"
+            for h, adv in advances.items()
+        ),
+    )
+    assert advances[0.45] < advances[0.5] < advances[0.55]
+    assert abs(advances[0.5] - np.pi / 2) < 0.05

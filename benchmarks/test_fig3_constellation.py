@@ -1,0 +1,56 @@
+"""Figure 3 — I/Q constellation of O-QPSK with half-sine pulse shaping."""
+
+import numpy as np
+
+from repro.experiments.figures import fig3_constellation
+
+
+def test_fig3_regeneration(benchmark, report):
+    data = benchmark(fig3_constellation)
+
+    steps = np.asarray(data["phase_steps"]) / (np.pi / 2)
+    states = {
+        label: f"({point.real:+.2f}, {point.imag:+.2f})"
+        for label, point in data["states"].items()
+    }
+    report(
+        "Figure 3: O-QPSK constellation and transitions",
+        "states: "
+        + ", ".join(f"{k}->{v}" for k, v in states.items())
+        + "\nphase steps (pi/2 units): "
+        + np.array2string(np.round(steps, 3)),
+    )
+
+    # Four constellation points on the unit circle, one per quadrant.
+    quadrants = {
+        (np.sign(p.real), np.sign(p.imag)) for p in data["states"].values()
+    }
+    assert len(quadrants) == 4
+    # Every chip-period transition is exactly +-pi/2 (the property
+    # Algorithm 1 encodes as 1/0).
+    assert np.allclose(np.abs(steps), 1.0, atol=0.05)
+
+
+def test_fig3_transition_rule(benchmark, report):
+    """The figure's edge labels: the rotation direction for each chip is
+    exactly what the chips_to_transitions relation predicts."""
+    from repro.dsp.msk import chips_to_transitions
+
+    chips = (1, 1, 0, 1, 0, 0, 1, 0, 1, 1)
+
+    def measure():
+        data = fig3_constellation(chips=chips)
+        steps = np.asarray(data["phase_steps"])
+        return (steps > 0).astype(int)
+
+    measured = benchmark(measure)
+    # measured[j] is the rotation during chip period j+1 = transition t_{j+1},
+    # the first element of the chips_to_transitions output.
+    predicted = chips_to_transitions(np.array(chips, dtype=np.uint8))[
+        : measured.size
+    ]
+    report(
+        "Figure 3 companion: measured vs predicted rotation directions",
+        f"measured:  {measured.tolist()}\npredicted: {predicted.tolist()}",
+    )
+    assert np.array_equal(measured, predicted)

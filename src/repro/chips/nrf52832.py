@@ -1,0 +1,55 @@
+"""Nordic Semiconductor nRF52832 model.
+
+The paper's first proof-of-concept target (§V): "great flexibility in the
+configuration of the embedded radio component" — arbitrary 2.4 GHz tuning
+via the FREQUENCY register, whitening and CRC fully configurable, LE 2M
+supported.  Its radio API descends from the nRF51's, famously diverted by
+the BLE offensive-tooling community (BTLEJack, radiobit).
+
+Analogue-wise we give it a looser crystal than the TI part; Table III's
+slightly lower success rates for the nRF52832 fall out of that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.chips.ble_radio import BleRadioPeripheral
+from repro.chips.capabilities import ChipCapabilities
+from repro.radio.medium import RfMedium
+
+__all__ = ["NRF52832_CAPABILITIES", "Nrf52832"]
+
+NRF52832_CAPABILITIES = ChipCapabilities(
+    name="nRF52832",
+    supports_le_2m=True,
+    supports_esb_2m=True,
+    arbitrary_frequency=True,
+    can_disable_whitening=True,
+    can_disable_crc=True,
+    raw_radio_access=True,
+    cfo_std_hz=30e3,
+)
+
+
+class Nrf52832(BleRadioPeripheral):
+    """An nRF52832 development board (e.g. the Adafruit Feather nRF52)."""
+
+    def __init__(
+        self,
+        medium: RfMedium,
+        name: str = "nRF52832",
+        position: Tuple[float, float] = (0.0, 0.0),
+        tx_power_dbm: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(
+            medium,
+            capabilities=NRF52832_CAPABILITIES,
+            name=name,
+            position=position,
+            tx_power_dbm=tx_power_dbm,
+            rng=rng,
+        )

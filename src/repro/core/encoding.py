@@ -1,0 +1,64 @@
+"""Frame-level WazaBee encoding.
+
+Bridges the per-symbol correspondence table to whole frames:
+
+* :func:`frame_to_msk_bits` — the bit sequence the BLE GFSK modulator must
+  transmit so that an 802.15.4 receiver demodulates the intended frame.
+  One bit per chip period, covering the entire PPDU (preamble included).
+* :func:`wazabee_access_address` — the 32-bit Access Address that makes a
+  BLE receiver's sync-word correlator fire on the 802.15.4 preamble: the
+  MSK encoding of one ``0000`` PN sequence plus the symbol-boundary
+  transition bit (§IV-D: "The Access Address value can be set with the PN
+  sequence (encoded in MSK) corresponding to the 0000 symbol").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.msk import chips_to_transitions
+from repro.phy.ieee802154 import CHIPS_PER_SYMBOL, PN_SEQUENCES, Ppdu
+from repro.utils.bits import bits_to_int
+
+__all__ = [
+    "frame_to_msk_bits",
+    "wazabee_access_address_bits",
+    "wazabee_access_address",
+    "MSK_STRIDE",
+]
+
+#: Received MSK bits per DSSS symbol: 31 intra-symbol transitions plus the
+#: transition across the symbol boundary.
+MSK_STRIDE = CHIPS_PER_SYMBOL
+
+
+def frame_to_msk_bits(psdu: bytes) -> np.ndarray:
+    """MSK bit sequence for a full 802.15.4 frame with the given PSDU.
+
+    The conversion is the physics-exact stream form of Algorithm 1: one
+    rotation bit per chip period.  The rotation entering the very first
+    preamble chip has no defined predecessor; we fix ``previous_chip = 0``
+    (any value works — the bit lands inside the preamble, where the
+    receiver's correlator tolerates it).
+    """
+    chips = Ppdu(psdu).to_chips()
+    return chips_to_transitions(chips, start_index=0, previous_chip=0)
+
+
+def wazabee_access_address_bits() -> np.ndarray:
+    """On-air bit pattern (32 bits) of the WazaBee Access Address.
+
+    Equal to the MSK rotation stream over one preamble symbol, *including*
+    the boundary transition from the previous preamble symbol — the 802.15.4
+    preamble is periodic with period 32 chips, so this pattern repeats eight
+    times and the BLE sync correlator can lock onto any repetition.
+    """
+    pn0 = PN_SEQUENCES[0]
+    return chips_to_transitions(
+        pn0, start_index=0, previous_chip=int(pn0[-1])
+    )
+
+
+def wazabee_access_address() -> int:
+    """The Access Address as a 32-bit integer (LSB = first on-air bit)."""
+    return bits_to_int(wazabee_access_address_bits(), order="lsb")

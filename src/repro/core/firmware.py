@@ -1,0 +1,128 @@
+"""WazaBee "malicious firmware".
+
+Ties both primitives to one compromised chip and layers the small amount of
+802.15.4 logic the attack scenarios need on top: frame injection, sniffing
+with MAC decoding, and active scanning (Beacon Request / Beacon collection),
+mirroring the capabilities the paper demonstrates flashing onto the Gablys
+tracker in §VI-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.radio_api import LowLevelRadio
+from repro.core.rx import DecodedFrame, WazaBeeReceiver
+from repro.core.tx import WazaBeeTransmitter
+from repro.dot15d4.frames import MacFrame, build_beacon_request
+from repro.radio.scheduler import Scheduler
+
+__all__ = ["ScanResult", "WazaBeeFirmware"]
+
+
+@dataclass
+class ScanResult:
+    """One network discovered by active scanning."""
+
+    channel: int
+    pan_id: int
+    coordinator_address: int
+    address_mode: int
+
+
+SnifferHandler = Callable[[MacFrame, DecodedFrame], None]
+
+
+class WazaBeeFirmware:
+    """Attack firmware running on a diverted BLE chip."""
+
+    def __init__(self, radio: LowLevelRadio, scheduler: Scheduler):
+        self.radio = radio
+        self.scheduler = scheduler
+        self.transmitter = WazaBeeTransmitter(radio)
+        self.receiver = WazaBeeReceiver(radio)
+        self._sniffer_handler: Optional[SnifferHandler] = None
+        self._sniffing_channel: Optional[int] = None
+        self.scan_results: List[ScanResult] = []
+        self.raw_frames: List[DecodedFrame] = []
+
+    # -- injection ----------------------------------------------------------
+    def send_frame(self, frame: MacFrame, channel: int) -> None:
+        """Inject one 802.15.4 MAC frame on a Zigbee channel."""
+        self.transmitter.configure(channel)
+        self.transmitter.transmit(frame)
+
+    def send_psdu(self, psdu: bytes, channel: int) -> None:
+        self.transmitter.configure(channel)
+        self.transmitter.transmit_psdu(psdu)
+
+    # -- sniffing -------------------------------------------------------------
+    def start_sniffer(self, channel: int, handler: SnifferHandler) -> None:
+        """Receive 802.15.4 frames on *channel*; MAC-decode valid ones."""
+        self._sniffer_handler = handler
+        self._sniffing_channel = channel
+        self.receiver.start(channel, self._on_frame)
+
+    def stop_sniffer(self) -> None:
+        self.receiver.stop()
+        self._sniffer_handler = None
+        self._sniffing_channel = None
+
+    def _on_frame(self, decoded: DecodedFrame) -> None:
+        self.raw_frames.append(decoded)
+        if self._sniffer_handler is None or not decoded.fcs_ok:
+            return
+        try:
+            frame = MacFrame.parse(decoded.psdu)
+        except ValueError:
+            return
+        self._sniffer_handler(frame, decoded)
+
+    # -- active scan --------------------------------------------------------------
+    def active_scan(
+        self,
+        channels: Sequence[int],
+        dwell_s: float = 0.05,
+        on_complete: Optional[Callable[[List[ScanResult]], None]] = None,
+    ) -> None:
+        """§VI-C step 1: probe each channel with a Beacon Request.
+
+        For every channel: transmit a Beacon Request, listen for beacons
+        for *dwell_s*, record (channel, PAN id, coordinator address), then
+        move on.  Results accumulate in :attr:`scan_results`;
+        *on_complete* fires after the last channel.
+        """
+        remaining = list(channels)
+        self.scan_results = []
+
+        def scan_next() -> None:
+            if not remaining:
+                self.stop_sniffer()
+                if on_complete is not None:
+                    on_complete(self.scan_results)
+                return
+            channel = remaining.pop(0)
+            self.stop_sniffer()
+            self.start_sniffer(channel, collect)
+            self.send_frame(build_beacon_request(), channel)
+            self.scheduler.schedule(dwell_s, scan_next)
+
+        def collect(frame: MacFrame, _decoded: DecodedFrame) -> None:
+            from repro.dot15d4.frames import FrameType
+
+            if frame.frame_type is not FrameType.BEACON or frame.source is None:
+                return
+            result = ScanResult(
+                channel=self._sniffing_channel or 0,
+                pan_id=frame.source.pan_id,
+                coordinator_address=frame.source.address,
+                address_mode=int(frame.source.mode),
+            )
+            if not any(
+                r.channel == result.channel and r.pan_id == result.pan_id
+                for r in self.scan_results
+            ):
+                self.scan_results.append(result)
+
+        scan_next()

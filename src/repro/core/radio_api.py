@@ -1,0 +1,65 @@
+"""The low-level radio interface WazaBee needs from a compromised chip.
+
+§IV-D lists four requirements: 2 Mbit/s data rate, Zigbee-channel centre
+frequency, control of the modulator input, and access to the demodulator
+output.  This module captures them as a structural interface so the
+primitives can run on any chip model that exposes enough of its radio —
+mirroring how the real attack is "not implementation dependent".
+
+Chip models in :mod:`repro.chips` implement this interface; the smartphone
+model deliberately does *not* (it only offers the high-level advertising
+API), which is why Scenario A needs the whitening pre-inversion trick.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["LowLevelRadio", "RawBitsHandler"]
+
+RawBitsHandler = Callable[[np.ndarray], None]
+
+
+@runtime_checkable
+class LowLevelRadio(Protocol):
+    """Register-level radio control, in the style of the nRF RADIO peripheral."""
+
+    def set_frequency(self, frequency_hz: float) -> None:
+        """Tune the synthesiser.  Chips without arbitrary tuning raise
+        :class:`~repro.chips.capabilities.CapabilityError` for frequencies
+        off the BLE channel grid."""
+
+    def set_data_rate_2m(self) -> None:
+        """Select the 2 Mbit/s physical layer (LE 2M, or the chip's
+        proprietary 2 Mbit/s fallback)."""
+
+    def set_access_address(self, access_address: int) -> None:
+        """Program the sync word used for TX framing and RX correlation."""
+
+    def set_whitening(self, enabled: bool, channel: Optional[int] = None) -> None:
+        """Enable/disable whitening; *channel* selects the LFSR seed."""
+
+    def set_crc_enabled(self, enabled: bool) -> None:
+        """Enable/disable hardware CRC generation/checking."""
+
+    def send_raw_bits(self, payload_bits: np.ndarray) -> None:
+        """Transmit preamble + access address + *payload_bits* (whitened if
+        whitening is enabled)."""
+
+    def arm_receiver(self, max_payload_bits: int, handler: RawBitsHandler) -> None:
+        """Enter RX; on each sync-word match deliver up to
+        *max_payload_bits* demodulated payload bits (de-whitened if
+        whitening is enabled) to *handler*."""
+
+    def disarm_receiver(self) -> None:
+        """Leave RX mode."""
+
+    @property
+    def whitening_enabled(self) -> bool:
+        """Whether the whitener is currently active."""
+
+    @property
+    def whitening_channel(self) -> int:
+        """Channel index currently seeding the whitening LFSR."""

@@ -1,0 +1,138 @@
+"""The WazaBee reception primitive (§IV-D).
+
+The diverted BLE receiver is configured so that its sync-word correlator
+fires on the 802.15.4 preamble (Access Address = MSK-encoded ``0000`` PN
+sequence), CRC checking is disabled, and the maximum payload length is
+requested.  The demodulated bit stream is then decoded here:
+
+* the stream is split into 32-bit strides (one DSSS symbol each: the
+  symbol-boundary transition bit followed by the paper's 31-bit block);
+* each 31-bit block is matched to the correspondence table by minimum
+  Hamming distance;
+* the Start-of-Frame Delimiter is located among the leading symbols (the
+  correlator may have locked onto any of the eight preamble repetitions);
+* the PHR length field delimits the PSDU, whose FCS is then verified —
+  Table III's valid / corrupted / lost classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.ble.whitening import whiten
+from repro.core.encoding import MSK_STRIDE, wazabee_access_address
+from repro.core.radio_api import LowLevelRadio
+from repro.core.tables import CorrespondenceTable, default_table
+from repro.dot15d4.channels import channel_frequency_hz
+from repro.dot15d4.fcs import verify_fcs
+from repro.phy.ieee802154 import MAX_PSDU_SIZE, Ppdu
+
+__all__ = ["DecodedFrame", "decode_payload_bits", "WazaBeeReceiver"]
+
+#: Payload bits to request from the radio: enough for the SHR remainder,
+#: PHR and a maximum-size PSDU.
+MAX_CAPTURE_BITS = MSK_STRIDE * (10 + 2 * (1 + MAX_PSDU_SIZE))
+
+
+@dataclass
+class DecodedFrame:
+    """Outcome of decoding one captured bit stream."""
+
+    psdu: bytes
+    fcs_ok: bool
+    sfd_index: int
+    symbols: List[int] = field(default_factory=list)
+    distances: List[int] = field(default_factory=list)
+
+    @property
+    def mean_distance(self) -> float:
+        """Average Hamming distance of the matched blocks (decode quality)."""
+        if not self.distances:
+            return 0.0
+        return float(np.mean(self.distances))
+
+
+def decode_payload_bits(
+    bits: np.ndarray,
+    table: Optional[CorrespondenceTable] = None,
+    sfd_search_limit: int = 12,
+) -> Optional[DecodedFrame]:
+    """Decode a raw post-Access-Address bit capture into an 802.15.4 frame.
+
+    Returns ``None`` when no SFD is found or the frame is truncated.
+    """
+    table = table or default_table()
+    arr = np.asarray(bits, dtype=np.uint8)
+    num_strides = arr.size // MSK_STRIDE
+    if num_strides < 3:
+        return None
+    symbols: List[int] = []
+    distances: List[int] = []
+    for k in range(num_strides):
+        # Stride layout: [symbol-boundary transition, 31 intra bits].
+        block = arr[k * MSK_STRIDE + 1 : (k + 1) * MSK_STRIDE]
+        symbol, distance = table.decode_block(block)
+        symbols.append(symbol)
+        distances.append(distance)
+    sfd_index = Ppdu.find_sfd(symbols, search_limit=sfd_search_limit)
+    if sfd_index is None:
+        return None
+    ppdu = Ppdu.parse_symbols(symbols[sfd_index:])
+    if ppdu is None:
+        return None
+    used = sfd_index + 4 + 2 * len(ppdu.psdu)
+    return DecodedFrame(
+        psdu=ppdu.psdu,
+        fcs_ok=verify_fcs(ppdu.psdu),
+        sfd_index=sfd_index,
+        symbols=symbols[:used],
+        distances=distances[:used],
+    )
+
+
+FrameHandler = Callable[[DecodedFrame], None]
+
+
+class WazaBeeReceiver:
+    """Reception primitive bound to a low-level radio."""
+
+    def __init__(self, radio: LowLevelRadio, table: Optional[CorrespondenceTable] = None):
+        self.radio = radio
+        self.table = table or default_table()
+        self._handler: Optional[FrameHandler] = None
+        self._channel: Optional[int] = None
+
+    def start(self, zigbee_channel: int, handler: FrameHandler) -> None:
+        """Configure the radio per §IV-D and begin receiving."""
+        self.radio.set_data_rate_2m()
+        self.radio.set_frequency(channel_frequency_hz(zigbee_channel))
+        self.radio.set_access_address(wazabee_access_address())
+        self.radio.set_crc_enabled(False)
+        try:
+            self.radio.set_whitening(False)
+        except Exception:
+            pass
+        self._handler = handler
+        self._channel = zigbee_channel
+        self.radio.arm_receiver(MAX_CAPTURE_BITS, self._on_bits)
+
+    def stop(self) -> None:
+        self.radio.disarm_receiver()
+        self._handler = None
+
+    def _on_bits(self, bits: np.ndarray) -> None:
+        if self._handler is None:
+            return
+        if self.radio.whitening_enabled:
+            # The radio de-whitened what was never whitened; undo it.
+            bits = whiten(bits, self.radio.whitening_channel)
+        frame = decode_payload_bits(bits, table=self.table)
+        if frame is not None:
+            self._handler(frame)
+
+    @property
+    def channel(self) -> Optional[int]:
+        return self._channel

@@ -1,0 +1,76 @@
+"""The WazaBee transmission primitive (§IV-D).
+
+Builds an arbitrary 802.15.4 frame, spreads it to chips, re-encodes the
+chip stream as MSK rotation bits and hands those bits to the diverted BLE
+radio at 2 Mbit/s on the target Zigbee channel's frequency.
+
+Whitening handling follows the paper exactly: disable it when the chip
+allows; otherwise *pre-apply* the (self-inverse) whitening transform so the
+radio's whitener cancels it and the on-air bits equal the chip stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ble.whitening import whiten
+from repro.core.encoding import frame_to_msk_bits, wazabee_access_address
+from repro.core.radio_api import LowLevelRadio
+from repro.dot15d4.channels import channel_frequency_hz
+from repro.dot15d4.frames import MacFrame
+
+__all__ = ["WazaBeeTransmitter"]
+
+
+class WazaBeeTransmitter:
+    """Transmission primitive bound to a low-level radio."""
+
+    def __init__(self, radio: LowLevelRadio):
+        self.radio = radio
+        self._configured_channel: Optional[int] = None
+
+    def configure(self, zigbee_channel: int) -> None:
+        """Apply the §IV-D radio configuration for a Zigbee channel.
+
+        * data rate 2 Mbit/s (chip rate of 802.15.4);
+        * centre frequency of the target channel;
+        * Access Address set to the MSK-encoded ``0000`` PN sequence — on
+          transmission it acts as one extra 802.15.4 preamble symbol;
+        * CRC generation off (an appended CRC-24 would corrupt the chip
+          stream);
+        * whitening off when possible, pre-inverted otherwise.
+        """
+        self.radio.set_data_rate_2m()
+        self.radio.set_frequency(channel_frequency_hz(zigbee_channel))
+        self.radio.set_access_address(wazabee_access_address())
+        self.radio.set_crc_enabled(False)
+        try:
+            self.radio.set_whitening(False)
+        except Exception:
+            # Chip forces whitening on; leave it enabled and compensate in
+            # transmit() via pre-inversion.
+            pass
+        self._configured_channel = zigbee_channel
+
+    def transmit(self, frame: MacFrame) -> np.ndarray:
+        """Send a MAC frame; returns the payload bits given to the radio."""
+        return self.transmit_psdu(frame.to_bytes())
+
+    def transmit_psdu(self, psdu: bytes) -> np.ndarray:
+        """Send a raw PSDU (FCS included) as an 802.15.4 frame."""
+        if self._configured_channel is None:
+            raise RuntimeError("call configure(zigbee_channel) first")
+        bits = frame_to_msk_bits(psdu)
+        if self.radio.whitening_enabled:
+            # Pre-de-whiten so the hardware whitener restores the raw
+            # stream on air (whitening is XOR with a fixed per-channel
+            # sequence, hence an involution).
+            bits = whiten(bits, self.radio.whitening_channel)
+        self.radio.send_raw_bits(bits)
+        return bits
+
+    @property
+    def channel(self) -> Optional[int]:
+        return self._configured_channel

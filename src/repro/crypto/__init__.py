@@ -1,0 +1,19 @@
+"""Cryptographic substrate for the §VII counter-measures.
+
+The paper's main mitigation is the link-layer security most 802.15.4 stacks
+provide ("cryptographic techniques, that most of the 802.15.4-based
+protocols provide, should be systematically used").  Nothing in the Python
+standard library provides AES, so this package implements it from scratch:
+
+* :mod:`repro.crypto.aes` — AES-128 block cipher (FIPS-197), validated
+  against the specification's test vectors;
+* :mod:`repro.crypto.ccm` — CCM / CCM* authenticated encryption (RFC 3610 /
+  IEEE 802.15.4 Annex B), validated against an RFC 3610 test vector.
+
+:mod:`repro.dot15d4.security` builds the 802.15.4 security layer on top.
+"""
+
+from repro.crypto.aes import Aes128
+from repro.crypto.ccm import CcmError, ccm_decrypt, ccm_encrypt
+
+__all__ = ["Aes128", "ccm_encrypt", "ccm_decrypt", "CcmError"]

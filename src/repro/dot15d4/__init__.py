@@ -1,0 +1,39 @@
+"""IEEE 802.15.4 MAC layer.
+
+The Zigbee/XBee nodes of the paper's experimental setup (§VI-A) sit on top
+of this: frame encoding/decoding (beacon, data, acknowledgement, MAC
+command), 16-bit short addressing with PAN identifiers, the FCS, and a small
+MAC service handling sequence numbers, acknowledgements and beacon requests
+(the hooks Scenario B's active scan and spoofing steps exploit).
+"""
+
+from repro.dot15d4.channels import (
+    ZIGBEE_CHANNELS,
+    channel_frequency_hz,
+    channel_for_frequency,
+)
+from repro.dot15d4.fcs import compute_fcs, verify_fcs
+from repro.dot15d4.frames import (
+    Address,
+    AddressingMode,
+    FrameType,
+    MacFrame,
+    BROADCAST_PAN,
+    BROADCAST_SHORT,
+)
+from repro.dot15d4.mac import MacService
+
+__all__ = [
+    "ZIGBEE_CHANNELS",
+    "channel_frequency_hz",
+    "channel_for_frequency",
+    "compute_fcs",
+    "verify_fcs",
+    "FrameType",
+    "AddressingMode",
+    "Address",
+    "MacFrame",
+    "BROADCAST_PAN",
+    "BROADCAST_SHORT",
+    "MacService",
+]

@@ -1,0 +1,38 @@
+"""802.15.4 channel map for the 2.4 GHz O-QPSK PHY.
+
+Sixteen channels numbered 11–26, 2 MHz wide, 5 MHz spacing, per the paper's
+equation (6): ``fc = 2405 + 5 (k − 11)`` MHz.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "ZIGBEE_CHANNELS",
+    "CHANNEL_BANDWIDTH_HZ",
+    "channel_frequency_hz",
+    "channel_for_frequency",
+]
+
+ZIGBEE_CHANNELS: Tuple[int, ...] = tuple(range(11, 27))
+CHANNEL_BANDWIDTH_HZ: float = 2e6
+
+_MHZ = 1e6
+
+
+def channel_frequency_hz(channel: int) -> float:
+    """Centre frequency (Hz) of 802.15.4 channel *channel* (11–26)."""
+    if channel not in ZIGBEE_CHANNELS:
+        raise ValueError(f"invalid 802.15.4 channel {channel} (valid: 11-26)")
+    return (2405 + 5 * (channel - 11)) * _MHZ
+
+
+_FREQ_TO_CHANNEL: Dict[float, int] = {
+    channel_frequency_hz(ch): ch for ch in ZIGBEE_CHANNELS
+}
+
+
+def channel_for_frequency(frequency_hz: float) -> Optional[int]:
+    """Inverse of :func:`channel_frequency_hz`; ``None`` if no channel there."""
+    return _FREQ_TO_CHANNEL.get(float(frequency_hz))

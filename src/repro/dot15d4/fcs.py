@@ -1,0 +1,47 @@
+"""802.15.4 Frame Check Sequence.
+
+The 16-bit ITU-T CRC (``x^16 + x^12 + x^5 + 1``) with a zero seed, computed
+over the MHR+payload with bits processed in transmission order and the
+result appended least-significant byte first (IEEE 802.15.4-2015 §7.2.10).
+This is the CRC-16/KERMIT variant; the unit tests pin the classic
+``"123456789" → 0x2189`` check value.
+
+The WazaBee RX experiments in Table III classify received frames by exactly
+this check ("calculated the FCS corresponding to the received frame to
+assess its integrity").
+"""
+
+from __future__ import annotations
+
+from repro.utils.crc import CrcEngine
+
+__all__ = ["FCS_POLY", "compute_fcs", "verify_fcs", "append_fcs", "strip_fcs"]
+
+FCS_POLY = 0x1021
+
+_ENGINE = CrcEngine(width=16, polynomial=FCS_POLY, init=0x0000, reflect_output=True)
+
+
+def compute_fcs(data: bytes) -> int:
+    """FCS of *data* as a 16-bit integer."""
+    return _ENGINE.compute(data)
+
+
+def append_fcs(data: bytes) -> bytes:
+    """Return ``data || FCS`` (FCS little-endian, per the standard)."""
+    return bytes(data) + compute_fcs(data).to_bytes(2, "little")
+
+
+def verify_fcs(frame_with_fcs: bytes) -> bool:
+    """Check a full MAC frame (payload + trailing 2-byte FCS)."""
+    if len(frame_with_fcs) < 2:
+        return False
+    body, trailer = frame_with_fcs[:-2], frame_with_fcs[-2:]
+    return compute_fcs(body) == int.from_bytes(trailer, "little")
+
+
+def strip_fcs(frame_with_fcs: bytes) -> bytes:
+    """Remove a verified FCS; raises if the check fails."""
+    if not verify_fcs(frame_with_fcs):
+        raise ValueError("FCS check failed")
+    return bytes(frame_with_fcs[:-2])

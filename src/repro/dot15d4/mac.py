@@ -1,0 +1,242 @@
+"""802.15.4 MAC service.
+
+Binds a native radio (:class:`~repro.chips.rzusbstick.Dot15d4Radio`) to MAC
+behaviour: address filtering, sequence numbers, immediate acknowledgements,
+duplicate rejection and beacon responses to active scans.  This is the layer
+Scenario B's attack steps interact with:
+
+* the coordinator answers Beacon Requests → active scanning works;
+* data frames are acknowledged → the spoofed sensor looks alive;
+* address filtering is destination-only → spoofed *source* addresses pass,
+  which is the whole point of the remote-AT-command injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dot15d4.frames import (
+    Address,
+    BROADCAST_PAN,
+    BROADCAST_SHORT,
+    CommandId,
+    FrameType,
+    MacFrame,
+    build_ack,
+    build_beacon,
+    build_data,
+)
+from repro.dot15d4.security import SecurityContext, SecurityError
+
+__all__ = ["MacService", "MacStats"]
+
+#: Acknowledgement turnaround (aTurnaroundTime, 12 symbol periods).
+ACK_TURNAROUND_S = 192e-6
+#: Delay before answering a Beacon Request (models CSMA backoff).
+BEACON_RESPONSE_DELAY_S = 2e-3
+
+FrameHandler = Callable[[MacFrame], None]
+
+
+@dataclass
+class MacStats:
+    """Counters exposed for experiments."""
+
+    received_frames: int = 0
+    fcs_failures: int = 0
+    duplicates: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    beacons_sent: int = 0
+    sent_frames: int = 0
+    security_failures: int = 0
+
+
+class MacService:
+    """MAC-layer behaviour for one 802.15.4 node."""
+
+    def __init__(
+        self,
+        radio,
+        address: Address,
+        is_coordinator: bool = False,
+        beacon_payload: bytes = b"",
+        promiscuous: bool = False,
+        security: Optional[SecurityContext] = None,
+    ):
+        self.radio = radio
+        self.address = address
+        self.is_coordinator = is_coordinator
+        self.beacon_payload = beacon_payload
+        self.promiscuous = promiscuous
+        self.security = security
+        self.stats = MacStats()
+        self._sequence = 0
+        self._seen: Dict[Tuple[int, int], int] = {}
+        self._data_handler: Optional[FrameHandler] = None
+        self._command_handler: Optional[FrameHandler] = None
+        self._beacon_handler: Optional[FrameHandler] = None
+        self._ack_handler: Optional[Callable[[int], None]] = None
+        self._sniffer: Optional[FrameHandler] = None
+
+    # -- wiring ------------------------------------------------------------
+    def start(self) -> None:
+        self.radio.start_rx(self._on_psdu)
+
+    def stop(self) -> None:
+        self.radio.stop_rx()
+
+    def on_data(self, handler: FrameHandler) -> None:
+        self._data_handler = handler
+
+    def on_command(self, handler: FrameHandler) -> None:
+        self._command_handler = handler
+
+    def on_beacon(self, handler: FrameHandler) -> None:
+        self._beacon_handler = handler
+
+    def on_ack(self, handler: Callable[[int], None]) -> None:
+        self._ack_handler = handler
+
+    def on_any_frame(self, handler: FrameHandler) -> None:
+        """Promiscuous tap (before filtering) — the eavesdropping hook."""
+        self._sniffer = handler
+
+    @property
+    def _scheduler(self):
+        return self.radio.transceiver.medium.scheduler
+
+    # -- sending ------------------------------------------------------------
+    def next_sequence(self) -> int:
+        self._sequence = (self._sequence + 1) & 0xFF
+        return self._sequence
+
+    def send_data(self, destination: Address, payload: bytes, ack: bool = True) -> int:
+        frame = build_data(
+            source=self.address,
+            destination=destination,
+            payload=payload,
+            sequence_number=self.next_sequence(),
+            ack_request=ack,
+        )
+        if self.security is not None:
+            frame = self.security.protect(frame)
+        self.radio.transmit_frame(frame)
+        self.stats.sent_frames += 1
+        return frame.sequence_number
+
+    def send_frame(self, frame: MacFrame) -> None:
+        self.radio.transmit_frame(frame)
+        self.stats.sent_frames += 1
+
+    # -- receiving -----------------------------------------------------------
+    def _on_psdu(self, received) -> None:
+        self.stats.received_frames += 1
+        if not received.fcs_ok:
+            self.stats.fcs_failures += 1
+            return
+        try:
+            frame = MacFrame.parse(received.psdu)
+        except ValueError:
+            return
+        if self._sniffer is not None:
+            self._sniffer(frame)
+        if frame.frame_type is FrameType.ACK:
+            self.stats.acks_received += 1
+            if self._ack_handler is not None:
+                self._ack_handler(frame.sequence_number)
+            return
+        if not self.promiscuous and not self._accepts(frame):
+            return
+        if self._is_duplicate(frame):
+            self.stats.duplicates += 1
+            return
+        if (
+            frame.ack_request
+            and frame.destination is not None
+            and not frame.destination.is_broadcast()
+            and frame.destination.address == self.address.address
+        ):
+            self._schedule_ack(frame.sequence_number)
+        if frame.frame_type is FrameType.DATA:
+            if not self._apply_security(frame):
+                return
+            if self._data_handler is not None:
+                self._data_handler(frame)
+        elif frame.frame_type is FrameType.COMMAND:
+            self._handle_command(frame)
+        elif frame.frame_type is FrameType.BEACON:
+            if self._beacon_handler is not None:
+                self._beacon_handler(frame)
+
+    def _accepts(self, frame: MacFrame) -> bool:
+        dest = frame.destination
+        if dest is None:
+            # Beacons carry no destination; everyone may process them.
+            return frame.frame_type is FrameType.BEACON
+        if dest.pan_id not in (self.address.pan_id, BROADCAST_PAN):
+            return False
+        return dest.address in (self.address.address, BROADCAST_SHORT)
+
+    def _is_duplicate(self, frame: MacFrame) -> bool:
+        if frame.source is None:
+            return False
+        key = (frame.source.pan_id, frame.source.address)
+        last = self._seen.get(key)
+        if last is not None and last == frame.sequence_number:
+            return True
+        self._seen[key] = frame.sequence_number
+        return False
+
+    def _apply_security(self, frame: MacFrame) -> bool:
+        """Enforce the node's security policy on an incoming data frame.
+
+        With a :class:`SecurityContext` configured, unsecured data frames
+        are rejected outright and secured ones must authenticate + pass the
+        replay check; the clear payload replaces the protected one.
+        """
+        if self.security is None:
+            if frame.security_enabled:
+                # No key material: a secured frame is undecodable noise.
+                self.stats.security_failures += 1
+                return False
+            return True
+        if not frame.security_enabled:
+            self.stats.security_failures += 1
+            return False
+        try:
+            frame.payload = self.security.unprotect(frame)
+        except SecurityError:
+            self.stats.security_failures += 1
+            return False
+        return True
+
+    def _schedule_ack(self, sequence_number: int) -> None:
+        def send() -> None:
+            self.radio.transmit_frame(build_ack(sequence_number))
+            self.stats.acks_sent += 1
+
+        self._scheduler.schedule(ACK_TURNAROUND_S, send)
+
+    def _handle_command(self, frame: MacFrame) -> None:
+        if (
+            self.is_coordinator
+            and frame.payload[:1] == bytes([CommandId.BEACON_REQUEST])
+        ):
+            self._schedule_beacon()
+        if self._command_handler is not None:
+            self._command_handler(frame)
+
+    def _schedule_beacon(self) -> None:
+        def send() -> None:
+            beacon = build_beacon(
+                source=self.address,
+                sequence_number=self.next_sequence(),
+                beacon_payload=self.beacon_payload,
+                pan_coordinator=True,
+            )
+            self.radio.transmit_frame(beacon)
+            self.stats.beacons_sent += 1
+
+        self._scheduler.schedule(BEACON_RESPONSE_DELAY_S, send)

@@ -1,0 +1,289 @@
+"""(G)FSK / (G)MSK modulator and demodulator.
+
+This is the modem inside every BLE chip model.  The modulator implements
+continuous-phase 2-FSK with optional Gaussian frequency-pulse shaping:
+
+* modulation index ``h`` — BLE allows 0.45..0.55, nominal 0.5 (which makes
+  the waveform GMSK, the fact WazaBee exploits);
+* BT product — BLE mandates 0.5; ``bt=None`` disables the filter and yields
+  plain MSK, useful for isolating the Gaussian-approximation error in
+  ablation experiments.
+
+The demodulator is a quadrature discriminator (phase of the one-sample lag
+product) followed by per-symbol integrate-and-dump, with sync-word
+correlation for packet/timing acquisition and a DC-offset estimate to absorb
+carrier frequency offsets.  This mirrors how low-cost BLE receivers actually
+work, and — crucially for the paper — it happily demodulates any MSK-family
+waveform, including 802.15.4's O-QPSK with half-sine shaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.dsp.filters import gaussian_pulse, rectangular_pulse
+from repro.dsp.signal import IQSignal
+from repro.utils.bits import as_bit_array
+
+__all__ = ["GfskConfig", "FskModulator", "FskDemodulator", "SyncResult"]
+
+
+@dataclass(frozen=True)
+class GfskConfig:
+    """Static modem parameters.
+
+    ``samples_per_symbol`` trades fidelity for speed; 8 keeps the Gaussian
+    ISI visible while letting Table III (6400 packets) run in seconds.
+    """
+
+    samples_per_symbol: int = 8
+    modulation_index: float = 0.5
+    bt: Optional[float] = 0.5
+    span_symbols: int = 3
+
+    def __post_init__(self) -> None:
+        if self.samples_per_symbol < 2:
+            raise ValueError("samples_per_symbol must be >= 2")
+        if not 0.1 <= self.modulation_index <= 2.0:
+            raise ValueError("modulation_index out of sane range")
+        if self.bt is not None and self.bt <= 0:
+            raise ValueError("bt must be positive or None")
+
+
+class FskModulator:
+    """Continuous-phase FSK modulator.
+
+    Parameters
+    ----------
+    config:
+        Modem parameters.
+    symbol_rate:
+        Symbols per second (1e6 for LE 1M, 2e6 for LE 2M).
+    """
+
+    def __init__(self, config: GfskConfig, symbol_rate: float):
+        if symbol_rate <= 0:
+            raise ValueError("symbol_rate must be positive")
+        self.config = config
+        self.symbol_rate = symbol_rate
+        self.sample_rate = symbol_rate * config.samples_per_symbol
+        if config.bt is None:
+            self._pulse = rectangular_pulse(config.samples_per_symbol)
+        else:
+            self._pulse = gaussian_pulse(
+                config.bt, config.samples_per_symbol, config.span_symbols
+            )
+
+    @property
+    def frequency_deviation(self) -> float:
+        """Peak frequency deviation Δf = h / (2·Ts) in hertz."""
+        return self.config.modulation_index * self.symbol_rate / 2.0
+
+    def frequency_waveform(self, bits) -> np.ndarray:
+        """Instantaneous-frequency trajectory (Hz) for a bit sequence.
+
+        Exposed separately so figures and tests can inspect the shaped
+        frequency pulse train directly.
+        """
+        arr = as_bit_array(bits)
+        sps = self.config.samples_per_symbol
+        nrz = arr.astype(np.float64) * 2.0 - 1.0
+        impulses = np.zeros(arr.size * sps)
+        impulses[::sps] = nrz
+        shaped = np.convolve(impulses, self._pulse, mode="full")
+        return shaped * self.frequency_deviation
+
+    def modulate(self, bits, initial_phase: float = 0.0) -> IQSignal:
+        """Modulate *bits* into a complex-baseband :class:`IQSignal`.
+
+        The output includes the Gaussian filter tail, so its length slightly
+        exceeds ``len(bits) * samples_per_symbol``.
+        """
+        freq = self.frequency_waveform(bits)
+        # Phase advance per sample: 2π f Δt, accumulated.
+        dphi = 2.0 * np.pi * freq / self.sample_rate
+        phase = initial_phase + np.cumsum(dphi)
+        samples = np.exp(1j * phase)
+        return IQSignal(samples, self.sample_rate)
+
+    def group_delay_samples(self) -> int:
+        """Delay introduced by the shaping pulse (centre of the pulse)."""
+        return (len(self._pulse) - 1) // 2
+
+
+@dataclass
+class SyncResult:
+    """Outcome of a sync-word search.
+
+    ``start`` is the discriminator-domain sample index where the sync word's
+    first symbol begins; ``score`` is the normalised correlation (1.0 for a
+    perfect noiseless match); ``dc_offset`` is the estimated residual
+    carrier-frequency offset in hertz.
+    """
+
+    start: int
+    score: float
+    dc_offset: float
+
+
+class FskDemodulator:
+    """Quadrature-discriminator FSK demodulator with sync acquisition."""
+
+    def __init__(self, config: GfskConfig, symbol_rate: float):
+        if symbol_rate <= 0:
+            raise ValueError("symbol_rate must be positive")
+        self.config = config
+        self.symbol_rate = symbol_rate
+        self.sample_rate = symbol_rate * config.samples_per_symbol
+        self.frequency_deviation = config.modulation_index * symbol_rate / 2.0
+
+    #: Discriminator limiter: nominal modulation sits at ±1; noise-only
+    #: input would otherwise swing to ±(sample_rate / 2·deviation).
+    CLIP_LEVEL = 1.5
+
+    # -- front end -------------------------------------------------------
+    def discriminate(self, sig: IQSignal) -> np.ndarray:
+        """Instantaneous frequency normalised to ±1 at nominal deviation.
+
+        Output is clipped at :data:`CLIP_LEVEL`, like a hardware limiter —
+        essential so that noise-only stretches of a capture cannot produce
+        arbitrarily large correlation values during sync search.
+        """
+        if sig.sample_rate != self.sample_rate:
+            raise ValueError(
+                f"sample rate mismatch: signal {sig.sample_rate}, "
+                f"demodulator {self.sample_rate}"
+            )
+        raw = sig.instantaneous_frequency() / self.frequency_deviation
+        return np.clip(raw, -self.CLIP_LEVEL, self.CLIP_LEVEL)
+
+    # -- timing acquisition -------------------------------------------------
+    def find_sync(
+        self,
+        disc: np.ndarray,
+        sync_bits,
+        threshold: float = 0.45,
+        power: Optional[np.ndarray] = None,
+        search_start: int = 0,
+    ) -> Optional[SyncResult]:
+        """Search the discriminator output for a sync word.
+
+        Correlates an NRZ template of *sync_bits* against *disc* and locks
+        onto the **first** alignment whose normalised score clears
+        *threshold* (refined to the local maximum within two symbols) — the
+        way hardware sync detectors fire, and essential here because DSSS
+        payloads can repeat the preamble pattern later in the frame.
+        The correlation is performed against a mean-removed template so a
+        static carrier-frequency offset does not masquerade as (or mask) a
+        match; the removed mean is then used to estimate that offset.
+
+        *power* (per-sample |x|², aligned with *disc*) enables an RSSI gate:
+        candidate alignments whose windowed power falls well below the
+        strongest part of the capture are rejected, so clipped noise in the
+        pre-frame margin cannot trigger a false sync.
+
+        *search_start* skips the beginning of the capture — receivers use it
+        to re-arm the correlator after a sync that failed to yield a frame.
+        """
+        template = self._template(sync_bits)
+        if disc.size < template.size:
+            return None
+        template_centered = template - template.mean()
+        norm = float(np.dot(template_centered, template_centered))
+        if norm == 0.0:
+            raise ValueError("sync word must not be constant")
+        corr = np.correlate(disc, template_centered, mode="valid") / norm
+        valid = corr >= threshold
+        if power is not None and power.size >= disc.size:
+            window = template.size
+            cumulative = np.concatenate([[0.0], np.cumsum(power[: disc.size])])
+            windowed = (cumulative[window:] - cumulative[:-window]) / window
+            windowed = windowed[: corr.size]
+            gate = 0.25 * float(np.percentile(windowed, 90))
+            valid &= windowed >= gate
+        if search_start > 0:
+            valid[: min(search_start, valid.size)] = False
+        above = np.nonzero(valid)[0]
+        if above.size == 0:
+            return None
+        first = int(above[0])
+        window_end = min(first + 2 * self.config.samples_per_symbol, corr.size)
+        best = first + int(np.argmax(corr[first:window_end]))
+        score = float(corr[best])
+        window = disc[best : best + template.size]
+        dc_norm = float(window.mean() - template.mean())
+        return SyncResult(
+            start=best,
+            score=score,
+            dc_offset=dc_norm * self.frequency_deviation,
+        )
+
+    def _template(self, sync_bits) -> np.ndarray:
+        arr = as_bit_array(sync_bits)
+        sps = self.config.samples_per_symbol
+        nrz = arr.astype(np.float64) * 2.0 - 1.0
+        return np.repeat(nrz, sps)
+
+    # -- decisions --------------------------------------------------------
+    def soft_symbols(
+        self, disc: np.ndarray, start: int, num_symbols: int, dc: float = 0.0
+    ) -> np.ndarray:
+        """Integrate-and-dump per-symbol soft values (positive ⇒ bit 1).
+
+        ``dc`` is the normalised DC offset (from :class:`SyncResult`,
+        ``dc_offset / frequency_deviation``) subtracted before integration.
+        """
+        sps = self.config.samples_per_symbol
+        end = start + num_symbols * sps
+        if start < 0 or end > disc.size:
+            raise ValueError(
+                f"requested symbols [{start}:{end}] exceed discriminator "
+                f"length {disc.size}"
+            )
+        window = disc[start:end] - dc
+        return window.reshape(num_symbols, sps).sum(axis=1)
+
+    def decide_bits(
+        self, disc: np.ndarray, start: int, num_bits: int, dc: float = 0.0
+    ) -> np.ndarray:
+        """Hard bit decisions for *num_bits* symbols starting at *start*."""
+        soft = self.soft_symbols(disc, start, num_bits, dc=dc)
+        return (soft > 0).astype(np.uint8)
+
+    def available_bits(self, disc: np.ndarray, start: int) -> int:
+        """How many whole symbols remain after *start*."""
+        if start >= disc.size:
+            return 0
+        return (disc.size - start) // self.config.samples_per_symbol
+
+    # -- one-shot convenience ------------------------------------------------
+    def demodulate_packet(
+        self,
+        sig: IQSignal,
+        sync_bits,
+        num_payload_bits: int,
+        threshold: float = 0.45,
+    ) -> Optional[Tuple[np.ndarray, SyncResult]]:
+        """Find *sync_bits* and decode the following *num_payload_bits*.
+
+        Returns ``None`` when the sync word is absent or the capture is too
+        short; otherwise ``(payload_bits, sync_result)``.  If fewer than
+        *num_payload_bits* symbols remain after the sync word, all available
+        whole symbols are returned.
+        """
+        disc = self.discriminate(sig)
+        power = np.abs(sig.samples[:-1]) ** 2
+        sync = self.find_sync(disc, sync_bits, threshold=threshold, power=power)
+        if sync is None:
+            return None
+        sps = self.config.samples_per_symbol
+        payload_start = sync.start + as_bit_array(sync_bits).size * sps
+        dc_norm = sync.dc_offset / self.frequency_deviation
+        count = min(num_payload_bits, self.available_bits(disc, payload_start))
+        if count <= 0:
+            return None
+        bits = self.decide_bits(disc, payload_start, count, dc=dc_norm)
+        return bits, sync

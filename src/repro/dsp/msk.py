@@ -1,0 +1,96 @@
+"""Chip-domain ↔ MSK-transition-domain conversions.
+
+An O-QPSK signal with half-sine pulse shaping *is* an MSK signal: during
+every chip period the carrier phase rotates by exactly ±π/2.  An FSK
+demodulator therefore sees one bit per chip period — the *rotation
+direction*.  Writing ``c_i ∈ {0, 1}`` for the chips and ``t_i`` for the
+rotation during chip period ``i`` (1 = counter-clockwise, +π/2), a direct
+derivation from the I/Q pulse trains gives the memoryless relation
+
+    ``t_i = c_i XOR c_{i-1} XOR (i mod 2)``
+
+where ``i`` is the chip's *absolute* index in the stream (802.15.4 puts even
+chips on I and odd chips on Q — the parity term comes from that alternation).
+
+This module implements the relation and its inverse.  It is the
+physics-exact, stream-wide counterpart of the paper's per-symbol Algorithm 1
+(see :mod:`repro.core.tables`); the two agree on every transition whose
+predecessor chip is inside the sequence (Algorithm 1 additionally assumes the
+phase state preceding the sequence, which only affects its first output bit).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.bits import as_bit_array
+
+__all__ = ["chips_to_transitions", "transitions_to_chips"]
+
+
+def chips_to_transitions(
+    chips,
+    start_index: int = 0,
+    previous_chip: Optional[int] = None,
+) -> np.ndarray:
+    """Convert a chip stream into MSK rotation bits.
+
+    Parameters
+    ----------
+    chips:
+        The chip values ``c_0 .. c_{N-1}``.
+    start_index:
+        Absolute stream index of ``chips[0]`` (determines I/Q parity).
+    previous_chip:
+        The chip that precedes ``chips[0]`` in the stream, if known.  When
+        given, the result has length ``N`` and starts with the transition
+        *into* ``chips[0]``; otherwise it has length ``N - 1``.
+
+    Returns
+    -------
+    ``uint8`` array of rotation bits, 1 = counter-clockwise (+π/2).
+    """
+    arr = as_bit_array(chips)
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.uint8)
+    if previous_chip is not None:
+        arr = np.concatenate([[np.uint8(previous_chip & 1)], arr])
+        start_index -= 1
+    if arr.size < 2:
+        return np.zeros(0, dtype=np.uint8)
+    indices = np.arange(start_index + 1, start_index + arr.size)
+    parity = (indices % 2).astype(np.uint8)
+    return (arr[1:] ^ arr[:-1] ^ parity).astype(np.uint8)
+
+
+def transitions_to_chips(
+    transitions,
+    start_index: int,
+    previous_chip: int,
+) -> np.ndarray:
+    """Invert :func:`chips_to_transitions`.
+
+    Parameters
+    ----------
+    transitions:
+        Rotation bits ``t_k`` covering chip periods
+        ``start_index .. start_index + N - 1``.
+    start_index:
+        Absolute stream index of the chip period of ``transitions[0]``.
+    previous_chip:
+        Value of chip ``start_index - 1``.
+
+    Returns
+    -------
+    The recovered chips ``c_{start_index} .. c_{start_index + N - 1}``.
+    """
+    arr = as_bit_array(transitions)
+    chips = np.empty(arr.size, dtype=np.uint8)
+    prev = np.uint8(previous_chip & 1)
+    for k in range(arr.size):
+        parity = np.uint8((start_index + k) % 2)
+        prev = arr[k] ^ prev ^ parity
+        chips[k] = prev
+    return chips

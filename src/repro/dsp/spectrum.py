@@ -1,0 +1,68 @@
+"""Spectral analysis helpers.
+
+Used by the intrusion-detection counter-measure (§VII of the paper): the
+RadIoT-style monitor watches signal strength across frequency bands without
+demodulating anything, so it only needs PSD estimation and band-power
+integration.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.dsp.signal import IQSignal
+
+__all__ = ["power_spectral_density", "band_power", "channel_powers"]
+
+
+def power_spectral_density(
+    sig: IQSignal, nperseg: int = 256
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Welch PSD of a complex baseband capture.
+
+    Returns ``(frequencies_hz, psd)`` with frequencies expressed at RF
+    (centre frequency added back) and sorted ascending.
+    """
+    if len(sig) < 8:
+        raise ValueError("capture too short for PSD estimation")
+    nperseg = min(nperseg, len(sig))
+    freqs, psd = sp_signal.welch(
+        sig.samples,
+        fs=sig.sample_rate,
+        nperseg=nperseg,
+        return_onesided=False,
+        detrend=False,
+    )
+    order = np.argsort(freqs)
+    return freqs[order] + sig.center_frequency, psd[order]
+
+
+def band_power(
+    sig: IQSignal, rf_center_hz: float, bandwidth_hz: float, nperseg: int = 256
+) -> float:
+    """Integrated power inside an RF band of the given width."""
+    freqs, psd = power_spectral_density(sig, nperseg=nperseg)
+    low = rf_center_hz - bandwidth_hz / 2.0
+    high = rf_center_hz + bandwidth_hz / 2.0
+    mask = (freqs >= low) & (freqs <= high)
+    if not mask.any():
+        return 0.0
+    return float(np.trapezoid(psd[mask], freqs[mask]))
+
+
+def channel_powers(
+    sig: IQSignal, centers_hz, bandwidth_hz: float, nperseg: int = 256
+) -> np.ndarray:
+    """Band power for a list of channel centres (one PSD, many integrals)."""
+    freqs, psd = power_spectral_density(sig, nperseg=nperseg)
+    out = np.zeros(len(centers_hz))
+    for i, center in enumerate(centers_hz):
+        mask = (freqs >= center - bandwidth_hz / 2.0) & (
+            freqs <= center + bandwidth_hz / 2.0
+        )
+        if mask.any():
+            out[i] = float(np.trapezoid(psd[mask], freqs[mask]))
+    return out

@@ -1,0 +1,250 @@
+"""Ablation studies over WazaBee's design choices (DESIGN.md §5).
+
+Each function isolates one knob the paper discusses:
+
+* :func:`gaussian_bt_sweep` — how much error the GMSK≈MSK approximation
+  (§IV-B1: "if we neglect the effect of the Gaussian filter") actually
+  introduces, as a function of the BT product.
+* :func:`modulation_index_sweep` — BLE tolerates h ∈ [0.45, 0.55]; the MSK
+  equivalence is exact only at h = 0.5.
+* :func:`hamming_threshold_sweep` — decoding robustness vs the maximum
+  accepted Hamming distance under synthetic chip-error rates (§IV-D's
+  rationale for Hamming-distance despreading).
+* :func:`esb_fallback_comparison` — LE 2M vs the nRF51822's Enhanced
+  ShockBurst fallback ("a direct impact on the reception quality", §VI-C).
+* :func:`whitening_strategy_check` — disabling whitening vs pre-inverting
+  it must produce identical on-air bits (§IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ble.whitening import whiten
+from repro.core.encoding import frame_to_msk_bits
+from repro.core.tables import default_table
+from repro.dot15d4.frames import Address, build_data
+from repro.dsp.gfsk import FskDemodulator, FskModulator, GfskConfig
+from repro.dsp.msk import chips_to_transitions, transitions_to_chips
+from repro.experiments.environment import TestbedProfile, build_testbed
+from repro.phy.ieee802154 import PN_SEQUENCES
+
+__all__ = [
+    "gaussian_bt_sweep",
+    "modulation_index_sweep",
+    "hamming_threshold_sweep",
+    "esb_fallback_comparison",
+    "whitening_strategy_check",
+]
+
+
+def _chip_error_rate(
+    bt: Optional[float], modulation_index: float, num_chips: int, seed: int
+) -> float:
+    """Chip error rate of GFSK TX → ideal MSK RX, no channel noise."""
+    rng = np.random.default_rng(seed)
+    chips = rng.integers(0, 2, num_chips).astype(np.uint8)
+    transitions = chips_to_transitions(chips, previous_chip=0)
+    modulator = FskModulator(
+        GfskConfig(samples_per_symbol=8, modulation_index=modulation_index, bt=bt),
+        symbol_rate=2e6,
+    )
+    demodulator = FskDemodulator(
+        GfskConfig(samples_per_symbol=8, modulation_index=0.5, bt=None),
+        symbol_rate=2e6,
+    )
+    sig = modulator.modulate(transitions)
+    disc = demodulator.discriminate(sig)
+    sync = demodulator.find_sync(disc, transitions[:64], threshold=0.3)
+    if sync is None:
+        return 1.0
+    bits = demodulator.decide_bits(
+        disc,
+        sync.start,
+        min(transitions.size, demodulator.available_bits(disc, sync.start)),
+        dc=sync.dc_offset / demodulator.frequency_deviation,
+    )
+    recovered = transitions_to_chips(bits, start_index=0, previous_chip=0)
+    n = recovered.size
+    return float(np.count_nonzero(recovered != chips[:n]) / n)
+
+
+def gaussian_bt_sweep(
+    bt_values: Sequence[Optional[float]] = (0.3, 0.5, 0.7, 1.0, None),
+    num_chips: int = 4096,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Chip error rate vs Gaussian BT (``None`` = unfiltered MSK)."""
+    return {
+        ("MSK" if bt is None else f"BT={bt}"): _chip_error_rate(
+            bt, 0.5, num_chips, seed
+        )
+        for bt in bt_values
+    }
+
+
+def modulation_index_sweep(
+    h_values: Sequence[float] = (0.45, 0.48, 0.5, 0.52, 0.55),
+    num_chips: int = 4096,
+    seed: int = 0,
+) -> Dict[float, float]:
+    """Chip error rate vs modulation index at BT = 0.5."""
+    return {h: _chip_error_rate(0.5, h, num_chips, seed) for h in h_values}
+
+
+def hamming_threshold_sweep(
+    chip_error_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3),
+    trials: int = 2000,
+    seed: int = 0,
+) -> Dict[float, float]:
+    """Symbol decode accuracy vs synthetic chip error rate.
+
+    Flips each of the 31 MSK bits of a random symbol independently and asks
+    the correspondence table for the nearest symbol; reports the fraction
+    decoded correctly.  Shows why minimum-distance despreading (rather than
+    exact matching) is load-bearing.
+    """
+    table = default_table()
+    rng = np.random.default_rng(seed)
+    results: Dict[float, float] = {}
+    for rate in chip_error_rates:
+        correct = 0
+        for _ in range(trials):
+            symbol = int(rng.integers(0, 16))
+            block = table.msk_sequence(symbol).copy()
+            flips = rng.random(block.size) < rate
+            block ^= flips.astype(np.uint8)
+            decoded, _distance = table.decode_block(block)
+            correct += int(decoded == symbol)
+        results[rate] = correct / trials
+    return results
+
+
+@dataclass
+class FallbackComparison:
+    """LE 2M vs ESB fallback reception quality."""
+
+    le2m_valid_rate: float
+    esb_valid_rate: float
+    frames: int
+
+
+def esb_fallback_comparison(
+    frames: int = 50,
+    channel: int = 14,
+    profile: Optional[TestbedProfile] = None,
+    seed: int = 0,
+) -> FallbackComparison:
+    """Reception success of nRF52832 (LE 2M) vs nRF51822 (ESB fallback)."""
+    from repro.chips import Nrf51822, Nrf52832, RzUsbStick
+    from repro.core.firmware import WazaBeeFirmware
+
+    rates = {}
+    for label, factory in (("le2m", Nrf52832), ("esb", Nrf51822)):
+        testbed = build_testbed(profile, seed=seed)
+        chip = factory(
+            testbed.medium,
+            position=testbed.attacker_position,
+            rng=testbed.device_rng(1),
+        )
+        reference = RzUsbStick(
+            testbed.medium,
+            position=testbed.reference_position,
+            rng=testbed.device_rng(2),
+        )
+        reference.set_channel(channel)
+        firmware = WazaBeeFirmware(chip, testbed.scheduler)
+        valid = 0
+        seen: List[bytes] = []
+        firmware.start_sniffer(
+            channel, lambda f, d: seen.append(d.psdu) if d.fcs_ok else None
+        )
+        src = Address(pan_id=0x1234, address=1)
+        dst = Address(pan_id=0x1234, address=2)
+        for i in range(frames):
+            seen.clear()
+            frame = build_data(src, dst, bytes([0x42, i & 0xFF]), sequence_number=i & 0xFF)
+            reference.transmit_frame(frame)
+            testbed.scheduler.run(2e-3)
+            valid += int(frame.to_bytes() in seen)
+        rates[label] = valid / frames
+    return FallbackComparison(
+        le2m_valid_rate=rates["le2m"], esb_valid_rate=rates["esb"], frames=frames
+    )
+
+
+def whitening_strategy_check(
+    channel_index: int = 8, psdu: bytes = b"\x01\x02\x03\x04\x05\x06\x07"
+) -> Tuple[np.ndarray, np.ndarray, bool]:
+    """Disabled whitening vs pre-inversion: identical on-air bits?
+
+    Returns ``(bits_disabled, bits_pre_inverted_then_whitened, equal)``.
+    """
+    raw = frame_to_msk_bits(psdu)
+    pre_inverted = whiten(raw, channel_index)
+    on_air = whiten(pre_inverted, channel_index)
+    return raw, on_air, bool(np.array_equal(raw, on_air))
+
+
+@dataclass
+class DataRateCheck:
+    """Outcome of the §IV-D requirement-1 experiment."""
+
+    le2m_received: int
+    le1m_received: int
+    frames: int
+
+
+def data_rate_requirement_check(
+    frames: int = 10, channel: int = 14, seed: int = 0
+) -> DataRateCheck:
+    """§IV-D requirement 1: the 2 Mbit/s data rate is load-bearing.
+
+    Transmits WazaBee frames from an LE 2M radio and from an LE 1M radio
+    (same bits, half the symbol rate); the 802.15.4 receiver only accepts
+    the former — at 1 Mbit/s every chip period is stretched to 2·Tc and the
+    chip clock never matches.
+    """
+    from repro.chips import Nrf52832, RzUsbStick
+    from repro.core.firmware import WazaBeeFirmware
+
+    results = {}
+    for label, use_2m in (("le2m", True), ("le1m", False)):
+        testbed = build_testbed(seed=seed)
+        chip = Nrf52832(
+            testbed.medium,
+            position=testbed.attacker_position,
+            rng=testbed.device_rng(1),
+        )
+        reference = RzUsbStick(
+            testbed.medium,
+            position=testbed.reference_position,
+            rng=testbed.device_rng(2),
+        )
+        reference.set_channel(channel)
+        received: List[bytes] = []
+        reference.start_rx(
+            lambda r: received.append(r.psdu) if r.fcs_ok else None
+        )
+        firmware = WazaBeeFirmware(chip, testbed.scheduler)
+        firmware.transmitter.configure(channel)
+        if not use_2m:
+            chip.set_data_rate_1m()  # violate the requirement
+        count = 0
+        src = Address(pan_id=0x1234, address=1)
+        dst = Address(pan_id=0x1234, address=2)
+        for i in range(frames):
+            frame = build_data(src, dst, bytes([i]), sequence_number=i)
+            firmware.transmitter.transmit(frame)
+            testbed.scheduler.run(2e-3)
+            count += int(frame.to_bytes() in received)
+            received.clear()
+        results[label] = count
+    return DataRateCheck(
+        le2m_received=results["le2m"],
+        le1m_received=results["le1m"],
+        frames=frames,
+    )

@@ -1,0 +1,237 @@
+"""Table III — reception and transmission primitive assessment.
+
+For every Zigbee channel (11–26) and each implementation chip (nRF52832,
+CC1352-R1):
+
+* **Reception primitive** — the reference 802.15.4 transmitter sends 100
+  counter-bearing frames; the diverted BLE chip receives and decodes them.
+* **Transmission primitive** — the diverted chip injects 100 frames; the
+  reference 802.15.4 receiver (RZUSBStick) captures them.
+
+Each frame lands in one of the paper's three buckets: *valid* (received,
+FCS intact), *corrupted* (received, FCS check fails) or *lost*.  The WiFi
+interferers on channels 6 and 11 cause the characteristic dips around
+Zigbee channels 16–18 and 21–23.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chips import Cc1352R1, Nrf52832, RzUsbStick
+from repro.core.firmware import WazaBeeFirmware
+from repro.dot15d4.channels import ZIGBEE_CHANNELS
+from repro.dot15d4.frames import Address, build_data
+from repro.experiments.environment import Testbed, TestbedProfile, build_testbed
+
+__all__ = [
+    "CHIP_FACTORIES",
+    "ChannelResult",
+    "Table3Result",
+    "run_table3_cell",
+    "run_table3",
+    "format_table3",
+]
+
+CHIP_FACTORIES: Dict[str, Callable] = {
+    "nRF52832": Nrf52832,
+    "CC1352-R1": Cc1352R1,
+}
+
+_SRC = Address(pan_id=0x1234, address=0x0063)
+_DST = Address(pan_id=0x1234, address=0x0042)
+
+
+@dataclass
+class ChannelResult:
+    """One (chip, primitive, channel) cell of Table III."""
+
+    channel: int
+    valid: int = 0
+    corrupted: int = 0
+    lost: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.valid + self.corrupted + self.lost
+
+    @property
+    def valid_rate(self) -> float:
+        return self.valid / self.total if self.total else 0.0
+
+
+def _counter_frame(counter: int):
+    payload = b"\x10" + counter.to_bytes(2, "little")
+    return build_data(
+        source=_SRC,
+        destination=_DST,
+        payload=payload,
+        sequence_number=counter & 0xFF,
+        ack_request=False,
+    )
+
+
+def _classify(
+    outcomes: List[Tuple[bytes, bool]], expected_psdu: bytes
+) -> Tuple[bool, bool]:
+    """Map decode outcomes for one transmission to (valid, corrupted)."""
+    for psdu, fcs_ok in outcomes:
+        if fcs_ok and psdu == expected_psdu:
+            return True, False
+    if outcomes:
+        return False, True
+    return False, False
+
+
+def run_table3_cell(
+    chip_name: str,
+    primitive: str,
+    channel: int,
+    frames: int = 100,
+    profile: Optional[TestbedProfile] = None,
+    seed: int = 0,
+) -> ChannelResult:
+    """Run one cell: *frames* transmissions of one primitive on one channel."""
+    if chip_name not in CHIP_FACTORIES:
+        raise ValueError(f"unknown chip {chip_name!r}")
+    if primitive not in ("rx", "tx"):
+        raise ValueError("primitive must be 'rx' or 'tx'")
+    testbed = build_testbed(profile, seed=seed ^ hash((chip_name, primitive, channel)) & 0x7FFFFFFF)
+    chip = CHIP_FACTORIES[chip_name](
+        testbed.medium,
+        position=testbed.attacker_position,
+        rng=testbed.device_rng(1),
+    )
+    reference = RzUsbStick(
+        testbed.medium,
+        position=testbed.reference_position,
+        rng=testbed.device_rng(2),
+    )
+    reference.set_channel(channel)
+    firmware = WazaBeeFirmware(chip, testbed.scheduler)
+    result = ChannelResult(channel=channel)
+
+    outcomes: List[Tuple[bytes, bool]] = []
+    if primitive == "rx":
+        firmware.start_sniffer(
+            channel, lambda frame, decoded: outcomes.append((decoded.psdu, decoded.fcs_ok))
+        )
+        # The sniffer handler above only sees FCS-valid frames; tap the raw
+        # stream as well so corrupted receptions are counted.
+        raw_tap = firmware.raw_frames
+        for i in range(frames):
+            outcomes.clear()
+            raw_before = len(raw_tap)
+            frame = _counter_frame(i)
+            reference.transmit_frame(frame)
+            testbed.scheduler.run(2e-3)
+            decoded = [(d.psdu, d.fcs_ok) for d in raw_tap[raw_before:]]
+            valid, corrupted = _classify(decoded, frame.to_bytes())
+            _tally(result, valid, corrupted)
+        firmware.stop_sniffer()
+    else:
+        reference.start_rx(
+            lambda received: outcomes.append((received.psdu, received.fcs_ok))
+        )
+        firmware.transmitter.configure(channel)
+        for i in range(frames):
+            outcomes.clear()
+            frame = _counter_frame(i)
+            firmware.transmitter.transmit(frame)
+            testbed.scheduler.run(2e-3)
+            valid, corrupted = _classify(list(outcomes), frame.to_bytes())
+            _tally(result, valid, corrupted)
+        reference.stop_rx()
+    return result
+
+
+def _tally(result: ChannelResult, valid: bool, corrupted: bool) -> None:
+    if valid:
+        result.valid += 1
+    elif corrupted:
+        result.corrupted += 1
+    else:
+        result.lost += 1
+
+
+@dataclass
+class Table3Result:
+    """All cells, keyed by (chip, primitive) then channel."""
+
+    frames_per_cell: int
+    cells: Dict[Tuple[str, str], Dict[int, ChannelResult]] = field(
+        default_factory=dict
+    )
+
+    def average_valid_rate(self, chip: str, primitive: str) -> float:
+        rows = self.cells[(chip, primitive)]
+        return float(np.mean([r.valid_rate for r in rows.values()]))
+
+    def row(self, channel: int) -> Dict[Tuple[str, str], ChannelResult]:
+        return {
+            key: rows[channel]
+            for key, rows in self.cells.items()
+            if channel in rows
+        }
+
+
+def run_table3(
+    frames: int = 100,
+    channels: Sequence[int] = ZIGBEE_CHANNELS,
+    chips: Sequence[str] = ("nRF52832", "CC1352-R1"),
+    primitives: Sequence[str] = ("rx", "tx"),
+    profile: Optional[TestbedProfile] = None,
+    seed: int = 0,
+) -> Table3Result:
+    """Regenerate Table III (or a subset of it)."""
+    result = Table3Result(frames_per_cell=frames)
+    for chip in chips:
+        for primitive in primitives:
+            rows: Dict[int, ChannelResult] = {}
+            for channel in channels:
+                rows[channel] = run_table3_cell(
+                    chip, primitive, channel, frames=frames, profile=profile, seed=seed
+                )
+            result.cells[(chip, primitive)] = rows
+    return result
+
+
+def format_table3(result: Table3Result) -> str:
+    """Render the result in the layout of the paper's Table III."""
+    keys = [
+        ("rx", "nRF52832"),
+        ("rx", "CC1352-R1"),
+        ("tx", "nRF52832"),
+        ("tx", "CC1352-R1"),
+    ]
+    present = [(p, c) for (p, c) in keys if (c, p) in result.cells]
+    header1 = f"{'':>8} | {'Reception primitive':^25} | {'Transmission primitive':^25}"
+    header2 = (
+        f"{'Channel':>8} | "
+        + " | ".join(f"{c:^11}" for p, c in present[:2])
+        + " | "
+        + " | ".join(f"{c:^11}" for p, c in present[2:])
+    )
+    header3 = (
+        f"{'':>8} | " + " | ".join(f"{'val':>5} {'cor':>5}" for _ in present)
+    )
+    lines = [header1, header2, header3, "-" * len(header2)]
+    channels = sorted(
+        next(iter(result.cells.values())).keys()
+    )
+    for channel in channels:
+        cols = []
+        for primitive, chip in present:
+            cell = result.cells[(chip, primitive)][channel]
+            cols.append(f"{cell.valid:>5} {cell.corrupted:>5}")
+        lines.append(f"{channel:>8} | " + " | ".join(cols))
+    summary = []
+    for primitive, chip in present:
+        rate = result.average_valid_rate(chip, primitive) * 100.0
+        summary.append(f"{primitive}/{chip}: {rate:.3f}% valid")
+    lines.append("-" * len(header2))
+    lines.append("averages: " + ", ".join(summary))
+    return "\n".join(lines)

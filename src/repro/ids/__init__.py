@@ -1,0 +1,25 @@
+"""Counter-measure substrate (§VII).
+
+The paper argues for intrusion-detection systems that "monitor the physical
+layers ... by monitoring signal strength on different frequency bands" and
+model legitimate communications (RadIoT [32]).  This package provides that:
+
+* :mod:`repro.ids.monitor` — a passive multi-band spectrum sentinel built
+  from ordinary receiver front-ends (no protocol decoding, no access to
+  simulator metadata);
+* :mod:`repro.ids.detector` — a baseline-learning anomaly detector that
+  flags activity on frequency bands quiet during training — exactly the
+  signature a WazaBee pivot leaves when it wakes up a Zigbee channel in a
+  BLE-only environment.
+"""
+
+from repro.ids.monitor import BandObservation, SpectrumSentinel
+from repro.ids.detector import ActivityBaseline, AnomalyAlert, AnomalyDetector
+
+__all__ = [
+    "BandObservation",
+    "SpectrumSentinel",
+    "ActivityBaseline",
+    "AnomalyAlert",
+    "AnomalyDetector",
+]

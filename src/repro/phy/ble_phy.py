@@ -1,0 +1,71 @@
+"""BLE GFSK modem factories.
+
+Centralises the physical-layer parameters of the BLE modes (and the
+Enhanced ShockBurst 2 Mbit/s mode that Scenario B's nRF51822 falls back to)
+so chip models and experiments build consistent modems.
+
+BLE mandates BT = 0.5 and a modulation index between 0.45 and 0.55; the
+index is a per-chip analogue property, so the chip models pass their own
+value (the WazaBee approximation degrades as it moves away from 0.5 — one
+of the ablation benchmarks sweeps it).
+"""
+
+from __future__ import annotations
+
+from repro.ble.packets import PhyMode
+from repro.dsp.gfsk import FskDemodulator, FskModulator, GfskConfig
+
+__all__ = [
+    "DEFAULT_SAMPLES_PER_SYMBOL",
+    "ESB_2M_SYMBOL_RATE",
+    "ble_modulator",
+    "ble_demodulator",
+    "modem_config",
+]
+
+DEFAULT_SAMPLES_PER_SYMBOL = 8
+#: Enhanced ShockBurst high-rate mode (nRF51/nRF52 proprietary protocol).
+ESB_2M_SYMBOL_RATE = 2e6
+
+
+def modem_config(
+    modulation_index: float = 0.5,
+    bt: float = 0.5,
+    samples_per_symbol: int = DEFAULT_SAMPLES_PER_SYMBOL,
+) -> GfskConfig:
+    """Build a :class:`GfskConfig`, validating the BLE tolerance window."""
+    if not 0.45 <= modulation_index <= 0.55:
+        raise ValueError(
+            "BLE requires a modulation index within [0.45, 0.55]; "
+            f"got {modulation_index} (use GfskConfig directly for ablations)"
+        )
+    return GfskConfig(
+        samples_per_symbol=samples_per_symbol,
+        modulation_index=modulation_index,
+        bt=bt,
+    )
+
+
+def ble_modulator(
+    phy: PhyMode,
+    modulation_index: float = 0.5,
+    bt: float = 0.5,
+    samples_per_symbol: int = DEFAULT_SAMPLES_PER_SYMBOL,
+) -> FskModulator:
+    """GFSK modulator for a BLE PHY mode."""
+    config = modem_config(modulation_index, bt, samples_per_symbol)
+    return FskModulator(config, phy.symbol_rate)
+
+
+def ble_demodulator(
+    phy: PhyMode,
+    modulation_index: float = 0.5,
+    samples_per_symbol: int = DEFAULT_SAMPLES_PER_SYMBOL,
+) -> FskDemodulator:
+    """FSK demodulator matched to a BLE PHY mode."""
+    config = GfskConfig(
+        samples_per_symbol=samples_per_symbol,
+        modulation_index=modulation_index,
+        bt=None,
+    )
+    return FskDemodulator(config, phy.symbol_rate)

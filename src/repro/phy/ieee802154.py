@@ -1,0 +1,234 @@
+"""IEEE 802.15.4 physical layer (2.4 GHz O-QPSK PHY).
+
+Implements §III-C of the paper / clause 12 of IEEE 802.15.4-2015:
+
+* the PPDU format — preamble (4 zero bytes), SFD, PHR (frame length),
+  PSDU;
+* Direct Sequence Spread Spectrum: each nibble (4 bits, LSB nibble of a
+  byte first) maps to a 32-chip pseudo-random noise sequence — the paper's
+  Table I, reproduced verbatim in :data:`PN_SEQUENCES`;
+* despreading by minimum Hamming distance, which is what lets both the
+  legitimate Zigbee receiver and the WazaBee receiver tolerate chip errors.
+
+Note on the SFD: the standard defines the SFD *value* as 0xA7; the paper's
+§III-C prints it as "0x7A" because it lists the nibbles in transmission
+order (low nibble 0x7 on air first).  Both descriptions put symbol 7 then
+symbol 10 on the air, which is what matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.bits import parse_bitstring
+
+__all__ = [
+    "CHIP_RATE_HZ",
+    "CHIPS_PER_SYMBOL",
+    "SYMBOLS_PER_BYTE",
+    "PREAMBLE_BYTES",
+    "SFD_VALUE",
+    "MAX_PSDU_SIZE",
+    "PN_SEQUENCES",
+    "PN_MATRIX",
+    "symbols_for_byte",
+    "byte_for_symbols",
+    "spread_bytes",
+    "spread_symbols",
+    "despread_symbol",
+    "despread_chips",
+    "Ppdu",
+    "SHR_SYMBOLS",
+]
+
+CHIP_RATE_HZ = 2e6
+CHIPS_PER_SYMBOL = 32
+SYMBOLS_PER_BYTE = 2
+PREAMBLE_BYTES = 4
+SFD_VALUE = 0xA7
+MAX_PSDU_SIZE = 127
+
+# The paper's Table I.  Row order there is by transmission-order bit pattern
+# (b0 b1 b2 b3) with b0 the LSB, i.e. rows appear as symbols
+# 0, 1, 2, 3, ... 15 — the same indexing used here.
+_PN_TABLE_TEXT = [
+    "11011001 11000011 01010010 00101110",  # 0  (0000)
+    "11101101 10011100 00110101 00100010",  # 1  (1000)
+    "00101110 11011001 11000011 01010010",  # 2  (0100)
+    "00100010 11101101 10011100 00110101",  # 3  (1100)
+    "01010010 00101110 11011001 11000011",  # 4  (0010)
+    "00110101 00100010 11101101 10011100",  # 5  (1010)
+    "11000011 01010010 00101110 11011001",  # 6  (0110)
+    "10011100 00110101 00100010 11101101",  # 7  (1110)
+    "10001100 10010110 00000111 01111011",  # 8  (0001)
+    "10111000 11001001 01100000 01110111",  # 9  (1001)
+    "01111011 10001100 10010110 00000111",  # 10 (0101)
+    "01110111 10111000 11001001 01100000",  # 11 (1101)
+    "00000111 01111011 10001100 10010110",  # 12 (0011)
+    "01100000 01110111 10111000 11001001",  # 13 (1011)
+    "10010110 00000111 01111011 10001100",  # 14 (0111)
+    "11001001 01100000 01110111 10111000",  # 15 (1111)
+]
+
+PN_SEQUENCES: Tuple[np.ndarray, ...] = tuple(
+    parse_bitstring(row) for row in _PN_TABLE_TEXT
+)
+
+# All sequences stacked as a (16, 32) matrix for vectorised Hamming search.
+PN_MATRIX: np.ndarray = np.stack(PN_SEQUENCES)
+
+
+def symbols_for_byte(value: int) -> Tuple[int, int]:
+    """Split a byte into its two DSSS symbols, low nibble first."""
+    if not 0 <= value <= 0xFF:
+        raise ValueError("byte value out of range")
+    return value & 0x0F, value >> 4
+
+
+def byte_for_symbols(low: int, high: int) -> int:
+    """Reassemble a byte from two symbols (low nibble first)."""
+    if not 0 <= low <= 0xF or not 0 <= high <= 0xF:
+        raise ValueError("symbol out of range")
+    return low | (high << 4)
+
+
+def spread_symbols(symbols: Sequence[int]) -> np.ndarray:
+    """Concatenate the PN sequences for a symbol list."""
+    if len(symbols) == 0:
+        return np.zeros(0, dtype=np.uint8)
+    bad = [s for s in symbols if not 0 <= int(s) <= 15]
+    if bad:
+        raise ValueError(f"symbols out of range: {bad}")
+    return np.concatenate([PN_SEQUENCES[int(s)] for s in symbols])
+
+
+def spread_bytes(data: bytes) -> np.ndarray:
+    """DSSS-spread *data*: each byte becomes 64 chips (2 symbols)."""
+    symbols: List[int] = []
+    for byte in data:
+        low, high = symbols_for_byte(byte)
+        symbols.extend((low, high))
+    return spread_symbols(symbols)
+
+
+def despread_symbol(chips: np.ndarray) -> Tuple[int, int]:
+    """Best-matching symbol for one 32-chip block.
+
+    Returns ``(symbol, hamming_distance)``.  Matching by minimum Hamming
+    distance copes with "bit errors caused by the approximation ... but also
+    interference due to the channel" (§IV-D).
+    """
+    arr = np.asarray(chips, dtype=np.uint8)
+    if arr.size != CHIPS_PER_SYMBOL:
+        raise ValueError(f"expected {CHIPS_PER_SYMBOL} chips, got {arr.size}")
+    distances = np.count_nonzero(PN_MATRIX != arr[None, :], axis=1)
+    best = int(np.argmin(distances))
+    return best, int(distances[best])
+
+
+def despread_chips(
+    chips: np.ndarray, max_distance: Optional[int] = None
+) -> Tuple[List[int], List[int]]:
+    """Despread a chip stream into symbols.
+
+    Trailing chips that do not fill a 32-chip block are ignored.  If
+    *max_distance* is given, despreading stops at the first block whose best
+    match exceeds it (signal lost / end of frame).
+
+    Returns ``(symbols, distances)``.
+    """
+    arr = np.asarray(chips, dtype=np.uint8)
+    symbols: List[int] = []
+    distances: List[int] = []
+    for start in range(0, arr.size - CHIPS_PER_SYMBOL + 1, CHIPS_PER_SYMBOL):
+        symbol, distance = despread_symbol(arr[start : start + CHIPS_PER_SYMBOL])
+        if max_distance is not None and distance > max_distance:
+            break
+        symbols.append(symbol)
+        distances.append(distance)
+    return symbols, distances
+
+
+def _shr_symbols() -> List[int]:
+    preamble = [0] * (PREAMBLE_BYTES * SYMBOLS_PER_BYTE)
+    sfd_low, sfd_high = symbols_for_byte(SFD_VALUE)
+    return preamble + [sfd_low, sfd_high]
+
+
+#: Synchronisation-header symbols: eight zero symbols then the SFD pair.
+SHR_SYMBOLS: Tuple[int, ...] = tuple(_shr_symbols())
+
+
+@dataclass
+class Ppdu:
+    """An 802.15.4 PHY protocol data unit."""
+
+    psdu: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.psdu) > MAX_PSDU_SIZE:
+            raise ValueError(
+                f"PSDU limited to {MAX_PSDU_SIZE} bytes, got {len(self.psdu)}"
+            )
+
+    # -- symbol/chip domain ------------------------------------------------
+    def to_symbols(self) -> List[int]:
+        """Full frame as DSSS symbols (SHR + PHR + PSDU)."""
+        symbols = list(SHR_SYMBOLS)
+        phr = len(self.psdu) & 0x7F
+        low, high = symbols_for_byte(phr)
+        symbols.extend((low, high))
+        for byte in self.psdu:
+            low, high = symbols_for_byte(byte)
+            symbols.extend((low, high))
+        return symbols
+
+    def to_chips(self) -> np.ndarray:
+        """Full frame as a chip stream."""
+        return spread_symbols(self.to_symbols())
+
+    @property
+    def num_symbols(self) -> int:
+        return len(SHR_SYMBOLS) + SYMBOLS_PER_BYTE * (1 + len(self.psdu))
+
+    @property
+    def airtime_seconds(self) -> float:
+        """On-air duration at the 2.4 GHz chip rate."""
+        return self.num_symbols * CHIPS_PER_SYMBOL / CHIP_RATE_HZ
+
+    # -- parsing -------------------------------------------------------------
+    @staticmethod
+    def parse_symbols(symbols: Sequence[int]) -> Optional["Ppdu"]:
+        """Reassemble a PPDU from a symbol stream that starts at the SFD.
+
+        *symbols* must begin with the SFD symbol pair (the receiver strips
+        the preamble during synchronisation).  Returns ``None`` when the
+        stream is malformed or truncated.
+        """
+        sfd_low, sfd_high = symbols_for_byte(SFD_VALUE)
+        if len(symbols) < 4:
+            return None
+        if symbols[0] != sfd_low or symbols[1] != sfd_high:
+            return None
+        length = byte_for_symbols(symbols[2], symbols[3]) & 0x7F
+        needed = 4 + SYMBOLS_PER_BYTE * length
+        if len(symbols) < needed:
+            return None
+        payload = bytes(
+            byte_for_symbols(symbols[4 + 2 * i], symbols[5 + 2 * i])
+            for i in range(length)
+        )
+        return Ppdu(psdu=payload)
+
+    @staticmethod
+    def find_sfd(symbols: Sequence[int], search_limit: int = 16) -> Optional[int]:
+        """Locate the SFD symbol pair within the first *search_limit* symbols."""
+        sfd_low, sfd_high = symbols_for_byte(SFD_VALUE)
+        limit = min(len(symbols) - 1, search_limit)
+        for i in range(limit):
+            if symbols[i] == sfd_low and symbols[i + 1] == sfd_high:
+                return i
+        return None

@@ -1,0 +1,229 @@
+"""Shared RF medium with path loss, noise and interference.
+
+The medium is where a BLE emission and a Zigbee receiver actually meet: a
+transmission is recorded with its RF centre frequency and start time; every
+attached, listening transceiver whose tuning overlaps gets a *capture* — the
+superposition of all transmissions overlapping its window, mixed to the
+receiver's centre frequency, scaled by log-distance path loss and log-normal
+shadowing, plus interferer bursts and the thermal noise floor.
+
+Power convention: a linear sample power of 1.0 corresponds to 0 dBm, so
+``amplitude = 10^(dBm/20)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dsp.signal import IQSignal
+from repro.radio.interference import WifiInterferer
+from repro.radio.scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.transceiver import Transceiver
+
+__all__ = ["PropagationModel", "Transmission", "RfMedium"]
+
+Position = Tuple[float, float]
+
+
+@dataclass
+class PropagationModel:
+    """Log-distance path loss with optional log-normal shadowing.
+
+    ``reference_loss_db`` is the loss at ``reference_distance_m``;
+    ``exponent`` is the decay exponent (2 free space, 2.5–3 indoors);
+    ``shadowing_sigma_db`` adds a per-capture Gaussian term, the simulator's
+    stand-in for multipath fading and people walking through the lab.
+    """
+
+    reference_loss_db: float = 40.0
+    reference_distance_m: float = 1.0
+    exponent: float = 2.5
+    shadowing_sigma_db: float = 0.0
+
+    def path_gain_db(
+        self, a: Position, b: Position, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        distance = math.dist(a, b)
+        distance = max(distance, self.reference_distance_m / 10.0)
+        loss = self.reference_loss_db + 10.0 * self.exponent * math.log10(
+            distance / self.reference_distance_m
+        )
+        if self.shadowing_sigma_db > 0.0 and rng is not None:
+            loss += float(rng.normal(0.0, self.shadowing_sigma_db))
+        return -loss
+
+
+@dataclass
+class Transmission:
+    """A signal on the air."""
+
+    source: "Transceiver"
+    signal: IQSignal
+    start_time: float
+    power_dbm: float
+    identifier: int
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.signal.duration
+
+
+class RfMedium:
+    """The shared channel connecting every simulated radio."""
+
+    #: Margin added to half the receiver bandwidth when deciding whether a
+    #: transmission is deliverable (beyond it, the channel filter would bury
+    #: the signal anyway).  Roughly the occupied bandwidth of the signals
+    #: simulated here.
+    DELIVERY_MARGIN_HZ = 3e6
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        sample_rate: float = 16e6,
+        noise_floor_dbm: float = -100.0,
+        propagation: Optional[PropagationModel] = None,
+        interferers: Sequence[WifiInterferer] = (),
+        rng: Optional[np.random.Generator] = None,
+        capture_margin_s: float = 16e-6,
+    ):
+        self.scheduler = scheduler
+        self.sample_rate = sample_rate
+        self.noise_floor_dbm = noise_floor_dbm
+        self.propagation = propagation or PropagationModel()
+        self.interferers = list(interferers)
+        self.rng = rng or np.random.default_rng()
+        self.capture_margin_s = capture_margin_s
+        self._radios: List["Transceiver"] = []
+        self._transmissions: List[Transmission] = []
+        self._next_id = 0
+
+    # -- attachment ---------------------------------------------------------
+    def attach(self, radio: "Transceiver") -> None:
+        if radio not in self._radios:
+            self._radios.append(radio)
+
+    def detach(self, radio: "Transceiver") -> None:
+        if radio in self._radios:
+            self._radios.remove(radio)
+
+    # -- transmission ---------------------------------------------------------
+    def transmit(
+        self, source: "Transceiver", signal: IQSignal, power_dbm: float
+    ) -> Transmission:
+        """Put *signal* on the air now; schedule deliveries at its end."""
+        if signal.sample_rate != self.sample_rate:
+            raise ValueError(
+                f"signal sample rate {signal.sample_rate} differs from medium "
+                f"rate {self.sample_rate}"
+            )
+        self._prune(self.scheduler.now - 0.01)
+        tx = Transmission(
+            source=source,
+            signal=signal,
+            start_time=self.scheduler.now,
+            power_dbm=power_dbm,
+            identifier=self._next_id,
+        )
+        self._next_id += 1
+        self._transmissions.append(tx)
+        for radio in self._radios:
+            if radio is source:
+                continue
+            if not radio.is_listening:
+                continue
+            if not self._in_band(radio, signal.center_frequency):
+                continue
+            self._schedule_delivery(radio, tx)
+        return tx
+
+    def _in_band(self, radio: "Transceiver", center_frequency: float) -> bool:
+        limit = radio.bandwidth_hz / 2.0 + self.DELIVERY_MARGIN_HZ
+        return abs(radio.tuned_hz - center_frequency) <= limit
+
+    def _schedule_delivery(self, radio: "Transceiver", tx: Transmission) -> None:
+        def deliver() -> None:
+            # Re-check state at delivery time: the radio may have re-tuned
+            # or stopped listening while the frame was in flight.
+            if not radio.is_listening:
+                return
+            if not self._in_band(radio, tx.signal.center_frequency):
+                return
+            start = tx.start_time - self.capture_margin_s
+            end = tx.end_time + self.capture_margin_s
+            capture = self.compose_capture(radio, start, end)
+            radio.handle_capture(capture, tx)
+
+        self.scheduler.schedule_at(tx.end_time, deliver)
+
+    # -- capture composition ----------------------------------------------------
+    def compose_capture(
+        self, radio: "Transceiver", start_time: float, end_time: float
+    ) -> IQSignal:
+        """Superpose everything a receiver hears in a time window."""
+        num = max(1, int(round((end_time - start_time) * self.sample_rate)))
+        total = np.zeros(num, dtype=np.complex128)
+        for tx in self._transmissions:
+            if tx.end_time <= start_time or tx.start_time >= end_time:
+                continue
+            if tx.source is radio:
+                continue
+            if not self._in_band(radio, tx.signal.center_frequency):
+                continue
+            gain_db = tx.power_dbm + self.propagation.path_gain_db(
+                tx.source.position, radio.position, rng=self.rng
+            )
+            amplitude = 10.0 ** (gain_db / 20.0)
+            mixed = tx.signal.mixed_to(radio.tuned_hz)
+            offset = int(round((tx.start_time - start_time) * self.sample_rate))
+            self._add_at(total, mixed.samples * amplitude, offset)
+        for interferer in self.interferers:
+            burst = interferer.contribution(
+                rx_center_hz=radio.tuned_hz,
+                rx_bandwidth_hz=radio.bandwidth_hz,
+                num_samples=num,
+                sample_rate=self.sample_rate,
+                rng=self.rng,
+            )
+            total += burst.samples
+        noise_power = 10.0 ** (
+            (self.noise_floor_dbm + radio.noise_figure_db) / 10.0
+        )
+        scale = np.sqrt(noise_power / 2.0)
+        total += scale * (
+            self.rng.standard_normal(num) + 1j * self.rng.standard_normal(num)
+        )
+        return IQSignal(total, self.sample_rate, radio.tuned_hz)
+
+    @staticmethod
+    def _add_at(buffer: np.ndarray, samples: np.ndarray, offset: int) -> None:
+        if offset >= buffer.size or offset + samples.size <= 0:
+            return
+        src_start = max(0, -offset)
+        dst_start = max(0, offset)
+        length = min(samples.size - src_start, buffer.size - dst_start)
+        if length > 0:
+            buffer[dst_start : dst_start + length] += samples[
+                src_start : src_start + length
+            ]
+
+    def _prune(self, before: float) -> None:
+        self._transmissions = [
+            tx for tx in self._transmissions if tx.end_time >= before
+        ]
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def active_transmissions(self) -> List[Transmission]:
+        now = self.scheduler.now
+        return [
+            tx
+            for tx in self._transmissions
+            if tx.start_time <= now <= tx.end_time
+        ]

@@ -1,0 +1,89 @@
+"""Discrete-event scheduler driving the radio simulation.
+
+A minimal priority-queue scheduler: callbacks fire in timestamp order,
+ties broken by insertion order.  Node behaviours (periodic sensor reports,
+scan timeouts, acknowledgement windows) are all expressed as scheduled
+callbacks; the medium schedules packet deliveries at their end-of-airtime.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Scheduler", "EventHandle"]
+
+
+@dataclass
+class EventHandle:
+    """Cancellation token for a scheduled event."""
+
+    time: float
+    sequence: int
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Scheduler:
+    """Priority-queue discrete-event scheduler.  Times are seconds."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, EventHandle, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Run *callback* at absolute *time* (must not be in the past)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} (now is {self.now})")
+        handle = EventHandle(time=time, sequence=next(self._counter))
+        heapq.heappush(self._queue, (time, handle.sequence, handle, callback))
+        return handle
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run *callback* after *delay* seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.now + delay, callback)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            time, _seq, handle, callback = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.now = time
+            callback()
+            return True
+        return False
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Run events with timestamps <= *time*; returns the event count.
+
+        The clock is advanced to *time* at the end even if the queue drains
+        earlier, so periodic behaviours can be re-armed consistently.
+        """
+        executed = 0
+        while self._queue:
+            next_time = self._queue[0][0]
+            if next_time > time:
+                break
+            if not self.step():
+                break
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                return executed
+        self.now = max(self.now, time)
+        return executed
+
+    def run(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Run for *duration* simulated seconds from now."""
+        return self.run_until(self.now + duration, max_events=max_events)
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for _, _, handle, _ in self._queue if not handle.cancelled)

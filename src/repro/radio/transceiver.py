@@ -1,0 +1,141 @@
+"""Radio transceiver front-end.
+
+A :class:`Transceiver` is the analogue half of a chip model: it owns tuning,
+transmit power, the receive channel filter, carrier-frequency error and the
+half-duplex constraint.  Digital modems (GFSK, O-QPSK) live in the chip
+models; the transceiver only moves :class:`IQSignal` vectors to and from the
+medium.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.dsp.filters import apply_filter, fir_lowpass
+from repro.dsp.impairments import apply_frequency_offset
+from repro.dsp.signal import IQSignal
+from repro.radio.medium import RfMedium, Transmission
+
+__all__ = ["Transceiver"]
+
+CaptureHandler = Callable[[IQSignal, Transmission], None]
+
+
+class Transceiver:
+    """A tunable half-duplex 2.4 GHz radio front-end.
+
+    Parameters
+    ----------
+    medium:
+        The shared RF medium.
+    name:
+        Human-readable identifier (shows up in logs and experiment output).
+    position:
+        (x, y) in metres; drives path loss.
+    bandwidth_hz:
+        Receive channel filter bandwidth (2 MHz for both BLE and 802.15.4).
+    tx_power_dbm:
+        Transmit power.
+    cfo_std_hz:
+        Standard deviation of the per-transmission carrier-frequency error —
+        the main analogue quality difference between chip models (the
+        nRF52832's looser crystal vs the CC1352-R1).
+    noise_figure_db:
+        Added to the medium's thermal floor for this receiver.
+    """
+
+    def __init__(
+        self,
+        medium: RfMedium,
+        name: str,
+        position: Tuple[float, float] = (0.0, 0.0),
+        bandwidth_hz: float = 2e6,
+        tx_power_dbm: float = 0.0,
+        cfo_std_hz: float = 0.0,
+        noise_figure_db: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        rx_filter_taps: int = 49,
+    ):
+        self.medium = medium
+        self.name = name
+        self.position = position
+        self.bandwidth_hz = bandwidth_hz
+        self.tx_power_dbm = tx_power_dbm
+        self.cfo_std_hz = cfo_std_hz
+        self.noise_figure_db = noise_figure_db
+        self.rng = rng or np.random.default_rng()
+        self.tuned_hz: float = 2440e6
+        self._listening = False
+        self._handler: Optional[CaptureHandler] = None
+        self._transmit_until: float = -1.0
+        self._filter = fir_lowpass(
+            cutoff_hz=bandwidth_hz * 0.65,
+            sample_rate=medium.sample_rate,
+            num_taps=rx_filter_taps,
+        )
+        medium.attach(self)
+
+    # -- tuning / state ------------------------------------------------------
+    def tune(self, frequency_hz: float) -> None:
+        """Retune the synthesiser (applies to both TX and RX)."""
+        if not 2.4e9 <= frequency_hz <= 2.5e9:
+            raise ValueError(
+                f"{self.name}: frequency {frequency_hz / 1e6:.1f} MHz outside "
+                "the 2.4-2.5 GHz ISM band"
+            )
+        self.tuned_hz = frequency_hz
+
+    @property
+    def is_listening(self) -> bool:
+        return self._listening and self.medium.scheduler.now >= self._transmit_until
+
+    def start_rx(self, handler: CaptureHandler) -> None:
+        """Enter receive mode; *handler* gets (filtered capture, transmission)."""
+        self._handler = handler
+        self._listening = True
+
+    def stop_rx(self) -> None:
+        self._listening = False
+        self._handler = None
+
+    # -- transmit ---------------------------------------------------------------
+    def transmit(self, baseband: IQSignal) -> Transmission:
+        """Transmit a baseband signal at the current tuning.
+
+        A per-transmission carrier-frequency error (drawn from
+        ``cfo_std_hz``) is applied before the signal reaches the medium —
+        modelling crystal tolerance, which the *receiver* must absorb.
+        """
+        if baseband.sample_rate != self.medium.sample_rate:
+            raise ValueError(
+                f"{self.name}: baseband sample rate {baseband.sample_rate} "
+                f"differs from medium rate {self.medium.sample_rate}"
+            )
+        cfo = float(self.rng.normal(0.0, self.cfo_std_hz)) if self.cfo_std_hz else 0.0
+        distorted = apply_frequency_offset(baseband, cfo)
+        on_air = IQSignal(
+            distorted.samples, self.medium.sample_rate, self.tuned_hz
+        )
+        tx = self.medium.transmit(self, on_air, self.tx_power_dbm)
+        self._transmit_until = tx.end_time
+        return tx
+
+    # -- receive -----------------------------------------------------------------
+    def handle_capture(self, capture: IQSignal, tx: Transmission) -> None:
+        """Called by the medium at end-of-airtime; applies channel filtering."""
+        if self._handler is None:
+            return
+        filtered = IQSignal(
+            apply_filter(self._filter, capture.samples),
+            capture.sample_rate,
+            capture.center_frequency,
+        )
+        self._handler(filtered, tx)
+
+    def __repr__(self) -> str:
+        return (
+            f"Transceiver({self.name!r}, tuned={self.tuned_hz / 1e6:.1f} MHz, "
+            f"listening={self.is_listening})"
+        )

@@ -1,0 +1,135 @@
+"""RFC 4944 §5.3 fragmentation and reassembly.
+
+802.15.4 frames carry ~100 bytes of 6LoWPAN payload; IPv6 requires a
+1280-byte MTU, so datagrams are split into a FRAG1 fragment (dispatch
+``11000``, carrying the uncompressed datagram size and a tag) followed by
+FRAGN fragments (dispatch ``11100``, adding an 8-byte-unit offset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["fragment_datagram", "Reassembler", "FRAG1_DISPATCH", "FRAGN_DISPATCH"]
+
+FRAG1_DISPATCH = 0b11000_000
+FRAGN_DISPATCH = 0b11100_000
+_HEADER1_SIZE = 4
+_HEADERN_SIZE = 5
+MAX_DATAGRAM_SIZE = (1 << 11) - 1
+
+
+def fragment_datagram(
+    datagram: bytes, tag: int, max_fragment_payload: int = 96
+) -> List[bytes]:
+    """Split *datagram* into link-sized fragments.
+
+    Returns a single unfragmented payload (no FRAG header) when it fits.
+    Offsets are in 8-byte units, so every fragment body except the last is
+    trimmed to a multiple of 8.
+    """
+    if len(datagram) > MAX_DATAGRAM_SIZE:
+        raise ValueError("datagram exceeds the 11-bit size field")
+    if not 0 <= tag <= 0xFFFF:
+        raise ValueError("fragment tag is 16-bit")
+    if max_fragment_payload < 16:
+        raise ValueError("fragment payload budget too small")
+    if len(datagram) <= max_fragment_payload:
+        return [datagram]
+
+    size_tag = (len(datagram) & 0x7FF).to_bytes(2, "big")
+    size_tag = bytes([FRAG1_DISPATCH | size_tag[0]]) + size_tag[1:]
+    size_tag += tag.to_bytes(2, "big")
+
+    first_body = (max_fragment_payload - _HEADER1_SIZE) // 8 * 8
+    fragments = [size_tag + datagram[:first_body]]
+    offset = first_body
+    body_budget = (max_fragment_payload - _HEADERN_SIZE) // 8 * 8
+    while offset < len(datagram):
+        body = datagram[offset : offset + body_budget]
+        header = bytes(
+            [FRAGN_DISPATCH | ((len(datagram) >> 8) & 0x07)]
+        ) + bytes([len(datagram) & 0xFF]) + tag.to_bytes(2, "big") + bytes(
+            [offset // 8]
+        )
+        fragments.append(header + body)
+        offset += len(body)
+    return fragments
+
+
+@dataclass
+class _PartialDatagram:
+    size: int
+    received: Dict[int, bytes] = field(default_factory=dict)
+
+    def add(self, offset: int, body: bytes) -> None:
+        self.received[offset] = body
+
+    def assembled(self) -> Optional[bytes]:
+        total = bytearray(self.size)
+        covered = 0
+        for offset, body in self.received.items():
+            if offset + len(body) > self.size:
+                return None
+            total[offset : offset + len(body)] = body
+            covered += len(body)
+        if covered < self.size:
+            return None
+        return bytes(total)
+
+
+class Reassembler:
+    """Per-(sender, tag) reassembly buffers."""
+
+    def __init__(self) -> None:
+        self._partials: Dict[Tuple[int, int], _PartialDatagram] = {}
+        self.completed = 0
+        self.dropped = 0
+
+    def accept(self, sender: int, payload: bytes) -> Optional[bytes]:
+        """Feed one link payload; returns a whole datagram when complete.
+
+        Non-fragmented payloads are returned immediately.
+        """
+        if not payload:
+            return None
+        dispatch = payload[0] & 0b11111000
+        if dispatch == FRAG1_DISPATCH:
+            if len(payload) < _HEADER1_SIZE:
+                self.dropped += 1
+                return None
+            size = int.from_bytes(payload[0:2], "big") & 0x7FF
+            tag = int.from_bytes(payload[2:4], "big")
+            partial = self._partials.setdefault(
+                (sender, tag), _PartialDatagram(size=size)
+            )
+            partial.add(0, payload[_HEADER1_SIZE:])
+            return self._try_complete(sender, tag)
+        if dispatch == FRAGN_DISPATCH:
+            if len(payload) < _HEADERN_SIZE:
+                self.dropped += 1
+                return None
+            size = int.from_bytes(payload[0:2], "big") & 0x7FF
+            tag = int.from_bytes(payload[2:4], "big")
+            offset = payload[4] * 8
+            partial = self._partials.setdefault(
+                (sender, tag), _PartialDatagram(size=size)
+            )
+            partial.add(offset, payload[_HEADERN_SIZE:])
+            return self._try_complete(sender, tag)
+        return payload
+
+    def _try_complete(self, sender: int, tag: int) -> Optional[bytes]:
+        partial = self._partials.get((sender, tag))
+        if partial is None:
+            return None
+        datagram = partial.assembled()
+        if datagram is not None:
+            del self._partials[(sender, tag)]
+            self.completed += 1
+        return datagram
+
+    @property
+    def pending(self) -> int:
+        return len(self._partials)

@@ -1,0 +1,264 @@
+"""LOWPAN_IPHC header compression (RFC 6282, stateless subset).
+
+Implements the compression paths a link-local 6LoWPAN actually exercises:
+
+* traffic class / flow label elided when zero, inline otherwise;
+* hop limit compressed to the 1/64/255 codepoints, inline otherwise;
+* stateless source/destination address compression: full inline (mode 0),
+  64-bit IID (mode 1), 16-bit ``...:ff:fe00:XXXX`` IID (mode 2) and fully
+  elided — derived from the 802.15.4 addresses (mode 3);
+* LOWPAN_NHC for UDP with the three port-compression forms; the checksum
+  always rides inline (C=0) so end-to-end integrity is preserved.
+
+Context-based compression (CID/SAC/DAC) and multicast destinations are out
+of scope and raise ``ValueError`` — the adaptation layer only speaks
+link-local unicast, like the exfiltration scenario it supports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sixlowpan.ipv6 import (
+    Ipv6Header,
+    NEXT_HEADER_UDP,
+    link_local_address,
+)
+
+__all__ = ["compress_datagram", "decompress_datagram", "DISPATCH_IPHC"]
+
+#: Dispatch bits ``011`` in the top of the first IPHC byte.
+DISPATCH_IPHC = 0b011_00000
+
+_LINK_LOCAL_PREFIX = bytes.fromhex("fe80") + bytes(6)
+_IID_16BIT_MARKER = bytes.fromhex("000000fffe00")
+_UDP_NHC_DISPATCH = 0b11110_000
+_UDP_PORT_BASE = 0xF0B0
+
+
+def _address_mode(address: bytes, link_iid: Optional[bytes]) -> Tuple[int, bytes]:
+    """Pick the tightest stateless compression mode for an address."""
+    if address[0] == 0xFF:
+        raise ValueError("multicast destinations are not supported")
+    if address[:8] != _LINK_LOCAL_PREFIX:
+        return 0b00, address
+    iid = address[8:]
+    if link_iid is not None and iid == link_iid:
+        return 0b11, b""
+    if iid[:6] == _IID_16BIT_MARKER:
+        return 0b10, iid[6:]
+    return 0b01, iid
+
+
+def _expand_address(mode: int, inline: bytes, link_iid: Optional[bytes]) -> bytes:
+    if mode == 0b00:
+        return inline
+    if mode == 0b01:
+        return _LINK_LOCAL_PREFIX + inline
+    if mode == 0b10:
+        return _LINK_LOCAL_PREFIX + _IID_16BIT_MARKER + inline
+    if link_iid is None:
+        raise ValueError("mode-3 address needs the link-layer address")
+    return _LINK_LOCAL_PREFIX + link_iid
+
+
+def _inline_size(mode: int) -> int:
+    return {0b00: 16, 0b01: 8, 0b10: 2, 0b11: 0}[mode]
+
+
+def link_iid(pan_id: int, short_address: int) -> bytes:
+    """The IID a node's 802.15.4 short address maps to (RFC 4944 §6)."""
+    return link_local_address(pan_id, short_address)[8:]
+
+
+def _compress_udp(udp_bytes: bytes) -> bytes:
+    source = int.from_bytes(udp_bytes[0:2], "big")
+    destination = int.from_bytes(udp_bytes[2:4], "big")
+    checksum = udp_bytes[6:8]
+    payload = udp_bytes[8:]
+    if (
+        source & 0xFFF0 == _UDP_PORT_BASE
+        and destination & 0xFFF0 == _UDP_PORT_BASE
+    ):
+        head = bytes(
+            [
+                _UDP_NHC_DISPATCH | 0b11,
+                ((source & 0xF) << 4) | (destination & 0xF),
+            ]
+        )
+    elif destination >> 8 == 0xF0:
+        head = (
+            bytes([_UDP_NHC_DISPATCH | 0b01])
+            + source.to_bytes(2, "big")
+            + bytes([destination & 0xFF])
+        )
+    elif source >> 8 == 0xF0:
+        head = (
+            bytes([_UDP_NHC_DISPATCH | 0b10, source & 0xFF])
+            + destination.to_bytes(2, "big")
+        )
+    else:
+        head = (
+            bytes([_UDP_NHC_DISPATCH])
+            + source.to_bytes(2, "big")
+            + destination.to_bytes(2, "big")
+        )
+    return head + checksum + payload
+
+
+def _decompress_udp(data: bytes) -> Tuple[bytes, int]:
+    """Rebuild the UDP header; returns (udp_bytes, consumed_compressed)."""
+    if not data:
+        raise ValueError("empty LOWPAN_NHC header")
+    first = data[0]
+    if first & 0b11111000 != _UDP_NHC_DISPATCH:
+        raise ValueError("not a LOWPAN_NHC UDP header")
+    if first & 0b100:
+        raise ValueError("elided UDP checksums are not supported")
+    ports_mode = first & 0b11
+    needed = 1 + {0b11: 1, 0b01: 3, 0b10: 3, 0b00: 4}[ports_mode] + 2
+    if len(data) < needed:
+        raise ValueError("truncated LOWPAN_NHC UDP header")
+    cursor = 1
+    if ports_mode == 0b11:
+        source = _UDP_PORT_BASE | (data[cursor] >> 4)
+        destination = _UDP_PORT_BASE | (data[cursor] & 0xF)
+        cursor += 1
+    elif ports_mode == 0b01:
+        source = int.from_bytes(data[cursor : cursor + 2], "big")
+        destination = 0xF000 | data[cursor + 2]
+        cursor += 3
+    elif ports_mode == 0b10:
+        source = 0xF000 | data[cursor]
+        destination = int.from_bytes(data[cursor + 1 : cursor + 3], "big")
+        cursor += 3
+    else:
+        source = int.from_bytes(data[cursor : cursor + 2], "big")
+        destination = int.from_bytes(data[cursor + 2 : cursor + 4], "big")
+        cursor += 4
+    checksum = data[cursor : cursor + 2]
+    cursor += 2
+    payload = data[cursor:]
+    length = 8 + len(payload)
+    udp = (
+        source.to_bytes(2, "big")
+        + destination.to_bytes(2, "big")
+        + length.to_bytes(2, "big")
+        + checksum
+        + payload
+    )
+    return udp, cursor
+
+
+def compress_datagram(
+    header: Ipv6Header,
+    payload: bytes,
+    source_link_iid: Optional[bytes] = None,
+    destination_link_iid: Optional[bytes] = None,
+) -> bytes:
+    """Compress an IPv6 datagram (header + payload) into IPHC form.
+
+    *payload* is the transport payload (e.g. a serialised UDP datagram when
+    ``header.next_header == 17``, in which case UDP NHC is applied).
+    """
+    sam, source_inline = _address_mode(header.source, source_link_iid)
+    dam, destination_inline = _address_mode(
+        header.destination, destination_link_iid
+    )
+    tf_elided = header.traffic_class == 0 and header.flow_label == 0
+    udp_nhc = header.next_header == NEXT_HEADER_UDP and len(payload) >= 8
+    hlim_code = {1: 0b01, 64: 0b10, 255: 0b11}.get(header.hop_limit, 0b00)
+
+    byte0 = DISPATCH_IPHC
+    byte0 |= (0b11 if tf_elided else 0b00) << 3
+    byte0 |= (1 if udp_nhc else 0) << 2
+    byte0 |= hlim_code
+    byte1 = (sam << 4) | dam
+
+    out = bytearray([byte0, byte1])
+    if not tf_elided:
+        word = (header.traffic_class << 20) | header.flow_label
+        out += word.to_bytes(4, "big")
+    if not udp_nhc:
+        out.append(header.next_header)
+    if hlim_code == 0b00:
+        out.append(header.hop_limit)
+    out += source_inline
+    out += destination_inline
+    if udp_nhc:
+        out += _compress_udp(payload)
+    else:
+        out += payload
+    return bytes(out)
+
+
+def decompress_datagram(
+    data: bytes,
+    source_link_iid: Optional[bytes] = None,
+    destination_link_iid: Optional[bytes] = None,
+) -> Tuple[Ipv6Header, bytes]:
+    """Invert :func:`compress_datagram`; returns (header, transport bytes).
+
+    Raises ``ValueError`` on anything malformed, including truncation.
+    """
+
+    def take(cursor: int, count: int) -> bytes:
+        chunk = data[cursor : cursor + count]
+        if len(chunk) != count:
+            raise ValueError("truncated IPHC datagram")
+        return chunk
+
+    if len(data) < 2 or data[0] & 0b11100000 != DISPATCH_IPHC:
+        raise ValueError("not a LOWPAN_IPHC datagram")
+    byte0, byte1 = data[0], data[1]
+    tf = (byte0 >> 3) & 0b11
+    udp_nhc = bool(byte0 & 0b100)
+    hlim_code = byte0 & 0b11
+    if byte1 & 0b10001000:
+        raise ValueError("context-based and multicast compression unsupported")
+    sam = (byte1 >> 4) & 0b11
+    dam = byte1 & 0b11
+
+    cursor = 2
+    traffic_class = flow_label = 0
+    if tf == 0b00:
+        word = int.from_bytes(take(cursor, 4), "big")
+        traffic_class = (word >> 20) & 0xFF
+        flow_label = word & 0xFFFFF
+        cursor += 4
+    elif tf != 0b11:
+        raise ValueError("unsupported TF compression form")
+    if udp_nhc:
+        next_header = NEXT_HEADER_UDP
+    else:
+        next_header = take(cursor, 1)[0]
+        cursor += 1
+    if hlim_code == 0b00:
+        hop_limit = take(cursor, 1)[0]
+        cursor += 1
+    else:
+        hop_limit = {0b01: 1, 0b10: 64, 0b11: 255}[hlim_code]
+
+    src_size = _inline_size(sam)
+    source = _expand_address(sam, take(cursor, src_size), source_link_iid)
+    cursor += src_size
+    dst_size = _inline_size(dam)
+    destination = _expand_address(
+        dam, take(cursor, dst_size), destination_link_iid
+    )
+    cursor += dst_size
+
+    if udp_nhc:
+        payload, _ = _decompress_udp(data[cursor:])
+    else:
+        payload = bytes(data[cursor:])
+    header = Ipv6Header(
+        source=source,
+        destination=destination,
+        payload_length=len(payload),
+        next_header=next_header,
+        hop_limit=hop_limit,
+        traffic_class=traffic_class,
+        flow_label=flow_label,
+    )
+    return header, payload

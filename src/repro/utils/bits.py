@@ -1,0 +1,208 @@
+"""Bit-array helpers.
+
+All bit streams in this project are numpy ``uint8`` arrays whose elements are
+0 or 1.  Radio protocols disagree about bit order inside a byte: BLE and
+IEEE 802.15.4 both transmit each byte *least-significant bit first*, so the
+default order everywhere is ``"lsb"``; ``"msb"`` is available for the places
+(e.g. human-readable PN-sequence tables) where the most-significant-bit-first
+notation of the paper is more natural.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+BitsLike = Union[Sequence[int], np.ndarray, str]
+
+__all__ = [
+    "BitArray",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "int_to_bits",
+    "bits_to_int",
+    "parse_bitstring",
+    "hamming_distance",
+    "pack_bits",
+]
+
+
+def _check_order(order: str) -> None:
+    if order not in ("lsb", "msb"):
+        raise ValueError(f"bit order must be 'lsb' or 'msb', got {order!r}")
+
+
+def as_bit_array(bits: BitsLike) -> np.ndarray:
+    """Coerce *bits* to a ``uint8`` ndarray of 0/1 values.
+
+    Accepts sequences of ints, numpy arrays, or strings such as
+    ``"1101 0011"`` (whitespace is ignored).
+    """
+    if isinstance(bits, str):
+        return parse_bitstring(bits)
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 1:
+        raise ValueError(f"bit array must be one-dimensional, got shape {arr.shape}")
+    if arr.size and arr.max(initial=0) > 1:
+        raise ValueError("bit array may only contain 0 and 1")
+    return arr
+
+
+def parse_bitstring(text: str) -> np.ndarray:
+    """Parse a human-readable bit string (``"11011001 11000011"``)."""
+    cleaned = "".join(text.split())
+    if not set(cleaned) <= {"0", "1"}:
+        raise ValueError(f"invalid characters in bit string {text!r}")
+    return np.frombuffer(cleaned.encode("ascii"), dtype=np.uint8) - ord("0")
+
+
+def bytes_to_bits(data: bytes, order: str = "lsb") -> np.ndarray:
+    """Expand *data* into a bit array, one byte → eight bits."""
+    _check_order(order)
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    bitorder = "little" if order == "lsb" else "big"
+    return np.unpackbits(raw, bitorder=bitorder)
+
+
+def bits_to_bytes(bits: BitsLike, order: str = "lsb") -> bytes:
+    """Pack a bit array back into bytes.  Length must be a multiple of 8."""
+    _check_order(order)
+    arr = as_bit_array(bits)
+    if arr.size % 8:
+        raise ValueError(f"bit count {arr.size} is not a multiple of 8")
+    bitorder = "little" if order == "lsb" else "big"
+    return np.packbits(arr, bitorder=bitorder).tobytes()
+
+
+def pack_bits(bits: BitsLike, order: str = "lsb") -> bytes:
+    """Like :func:`bits_to_bytes` but zero-pads the tail to a byte boundary."""
+    arr = as_bit_array(bits)
+    pad = (-arr.size) % 8
+    if pad:
+        arr = np.concatenate([arr, np.zeros(pad, dtype=np.uint8)])
+    return bits_to_bytes(arr, order=order)
+
+
+def int_to_bits(value: int, width: int, order: str = "lsb") -> np.ndarray:
+    """Encode *value* as *width* bits."""
+    _check_order(order)
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if value >> width:
+        raise ValueError(f"value {value:#x} does not fit in {width} bits")
+    positions = np.arange(width)
+    if order == "msb":
+        positions = positions[::-1]
+    return ((value >> positions) & 1).astype(np.uint8)
+
+
+def bits_to_int(bits: BitsLike, order: str = "lsb") -> int:
+    """Decode a bit array into an integer."""
+    _check_order(order)
+    arr = as_bit_array(bits)
+    if order == "lsb":
+        weights = 1 << np.arange(arr.size, dtype=object)
+    else:
+        weights = 1 << np.arange(arr.size - 1, -1, -1, dtype=object)
+    return int(sum(int(b) * int(w) for b, w in zip(arr, weights)))
+
+
+def hamming_distance(a: BitsLike, b: BitsLike) -> int:
+    """Number of positions where two equal-length bit arrays differ."""
+    arr_a = as_bit_array(a)
+    arr_b = as_bit_array(b)
+    if arr_a.size != arr_b.size:
+        raise ValueError(
+            f"length mismatch: {arr_a.size} vs {arr_b.size} bits"
+        )
+    return int(np.count_nonzero(arr_a != arr_b))
+
+
+class BitArray:
+    """A small convenience wrapper over a 0/1 ``uint8`` ndarray.
+
+    The DSP layer works on raw ndarrays for speed; protocol code uses
+    :class:`BitArray` when readability matters (slicing frames into named
+    fields, concatenating headers, ...).
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: BitsLike = ()):
+        self._bits = as_bit_array(bits)
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_bytes(cls, data: bytes, order: str = "lsb") -> "BitArray":
+        return cls(bytes_to_bits(data, order=order))
+
+    @classmethod
+    def from_int(cls, value: int, width: int, order: str = "lsb") -> "BitArray":
+        return cls(int_to_bits(value, width, order=order))
+
+    @classmethod
+    def concat(cls, parts: Iterable["BitArray"]) -> "BitArray":
+        arrays = [p.ndarray for p in parts]
+        if not arrays:
+            return cls()
+        return cls(np.concatenate(arrays))
+
+    # -- conversions ------------------------------------------------------
+    @property
+    def ndarray(self) -> np.ndarray:
+        return self._bits
+
+    def to_bytes(self, order: str = "lsb") -> bytes:
+        return bits_to_bytes(self._bits, order=order)
+
+    def to_int(self, order: str = "lsb") -> int:
+        return bits_to_int(self._bits, order=order)
+
+    def to_string(self) -> str:
+        return "".join(str(int(b)) for b in self._bits)
+
+    # -- sequence protocol --------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._bits.size)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return BitArray(self._bits[index])
+        return int(self._bits[index])
+
+    def __iter__(self):
+        return (int(b) for b in self._bits)
+
+    def __add__(self, other: "BitArray") -> "BitArray":
+        return BitArray(np.concatenate([self._bits, as_bit_array(other._bits)]))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BitArray):
+            return self._bits.size == other._bits.size and bool(
+                np.array_equal(self._bits, other._bits)
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._bits.size, self._bits.tobytes()))
+
+    def __repr__(self) -> str:
+        shown = self.to_string()
+        if len(shown) > 64:
+            shown = shown[:61] + "..."
+        return f"BitArray({shown!r})"
+
+    # -- operations ---------------------------------------------------------
+    def xor(self, other: "BitArray") -> "BitArray":
+        if len(self) != len(other):
+            raise ValueError("xor requires equal lengths")
+        return BitArray(self._bits ^ other._bits)
+
+    def invert(self) -> "BitArray":
+        return BitArray(self._bits ^ 1)
+
+    def hamming(self, other: "BitArray") -> int:
+        return hamming_distance(self._bits, other._bits)

@@ -1,0 +1,211 @@
+"""The target Zigbee network of §VI-A.
+
+Two XBee nodes on channel 14, PAN 0x1234: a sensor end device (0x0063)
+reporting a value every two seconds, and a coordinator (0x0042) that
+acknowledges the reports and appends them to a display log (the paper's
+"HTML graph").  Both honour unauthenticated remote AT commands — the
+default configuration the attack exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.chips.rzusbstick import Dot15d4Radio
+from repro.dot15d4.frames import Address, MacFrame
+from repro.dot15d4.mac import MacService
+from repro.dot15d4.security import SecurityContext
+from repro.radio.medium import RfMedium
+from repro.zigbee.energy import Battery
+from repro.zigbee.xbee import (
+    AtCommand,
+    RemoteAtCommand,
+    SensorReading,
+    XBEE_DEFAULTS,
+    parse_app_payload,
+)
+
+__all__ = ["XBeeNode", "SensorNode", "CoordinatorNode", "DisplayEntry"]
+
+
+class XBeeNode:
+    """Common XBee behaviour: MAC service + remote AT command handling."""
+
+    def __init__(
+        self,
+        medium: RfMedium,
+        address: Address,
+        name: str,
+        position: Tuple[float, float] = (0.0, 0.0),
+        is_coordinator: bool = False,
+        remote_at_enabled: bool = XBEE_DEFAULTS.remote_at_enabled,
+        rng: Optional[np.random.Generator] = None,
+        security: Optional[SecurityContext] = None,
+        battery: Optional[Battery] = None,
+    ):
+        self.radio = Dot15d4Radio(medium, name=name, position=position, rng=rng)
+        self.radio.set_channel(XBEE_DEFAULTS.channel)
+        self.mac = MacService(
+            self.radio,
+            address=address,
+            is_coordinator=is_coordinator,
+            security=security,
+        )
+        self.address = address
+        self.name = name
+        self.remote_at_enabled = remote_at_enabled
+        self.config_log: List[str] = []
+        self.battery = battery
+        if battery is not None:
+            self.radio.activity_listener = self._charge_battery
+        self.mac.on_data(self._on_data)
+
+    def _charge_battery(self, kind: str, duration_s: float) -> None:
+        assert self.battery is not None
+        self.battery.charge_activity(kind, duration_s)
+        if self.battery.depleted:
+            self.config_log.append("battery depleted — node dead")
+            self.stop()
+
+    @property
+    def scheduler(self):
+        return self.radio.transceiver.medium.scheduler
+
+    def start(self) -> None:
+        self.mac.start()
+
+    def stop(self) -> None:
+        self.mac.stop()
+
+    # -- application dispatch -------------------------------------------------
+    def _on_data(self, frame: MacFrame) -> None:
+        app = parse_app_payload(frame.payload)
+        if isinstance(app, RemoteAtCommand):
+            self._handle_remote_at(frame, app)
+        else:
+            self.handle_application(frame, app)
+
+    def handle_application(self, frame: MacFrame, app) -> None:
+        """Hook for subclasses."""
+
+    def _handle_remote_at(self, frame: MacFrame, command: RemoteAtCommand) -> None:
+        if not self.remote_at_enabled:
+            self.config_log.append(f"rejected remote AT {command.command!r}")
+            return
+        if command.command == AtCommand.CHANNEL and command.parameter:
+            new_channel = command.parameter[0]
+            self.config_log.append(
+                f"remote AT CH: channel {self.radio.channel} -> {new_channel}"
+            )
+            self.radio.set_channel(new_channel)
+        elif command.command == AtCommand.PAN_ID and len(command.parameter) >= 2:
+            new_pan = int.from_bytes(command.parameter[:2], "little")
+            self.config_log.append(f"remote AT ID: pan -> {new_pan:#06x}")
+            self.mac.address = Address(
+                pan_id=new_pan, address=self.address.address
+            )
+            self.address = self.mac.address
+        else:
+            self.config_log.append(f"remote AT {command.command!r} ignored")
+
+
+class SensorNode(XBeeNode):
+    """The end device: reports ``value`` every *report_interval_s*."""
+
+    def __init__(
+        self,
+        medium: RfMedium,
+        address: Address,
+        coordinator: Address,
+        name: str = "xbee-sensor",
+        position: Tuple[float, float] = (0.0, 0.0),
+        report_interval_s: float = 2.0,
+        value_source: Optional[Callable[[], int]] = None,
+        rng: Optional[np.random.Generator] = None,
+        security: Optional[SecurityContext] = None,
+        battery: Optional[Battery] = None,
+    ):
+        super().__init__(
+            medium,
+            address,
+            name,
+            position=position,
+            rng=rng,
+            security=security,
+            battery=battery,
+        )
+        self.coordinator = coordinator
+        self.report_interval_s = report_interval_s
+        self.value_source = value_source or (lambda: 21)
+        self.counter = 0
+        self.reports_sent = 0
+        self._running = False
+
+    def start(self) -> None:
+        super().start()
+        if not self._running:
+            self._running = True
+            self.scheduler.schedule(self.report_interval_s, self._report)
+
+    def stop(self) -> None:
+        self._running = False
+        super().stop()
+
+    def _report(self) -> None:
+        if not self._running:
+            return
+        self.counter = (self.counter + 1) & 0xFFFF
+        reading = SensorReading(counter=self.counter, value=self.value_source())
+        self.mac.send_data(self.coordinator, reading.to_payload())
+        self.reports_sent += 1
+        self.scheduler.schedule(self.report_interval_s, self._report)
+
+
+@dataclass
+class DisplayEntry:
+    """One point on the coordinator's "HTML graph"."""
+
+    time: float
+    counter: int
+    value: int
+    source: int
+
+
+class CoordinatorNode(XBeeNode):
+    """The coordinator: acknowledges reports and keeps the display log."""
+
+    def __init__(
+        self,
+        medium: RfMedium,
+        address: Address,
+        name: str = "xbee-coordinator",
+        position: Tuple[float, float] = (0.0, 0.0),
+        rng: Optional[np.random.Generator] = None,
+        security: Optional[SecurityContext] = None,
+        battery: Optional[Battery] = None,
+    ):
+        super().__init__(
+            medium,
+            address,
+            name,
+            position=position,
+            is_coordinator=True,
+            rng=rng,
+            security=security,
+            battery=battery,
+        )
+        self.display: List[DisplayEntry] = []
+
+    def handle_application(self, frame: MacFrame, app) -> None:
+        if isinstance(app, SensorReading) and frame.source is not None:
+            self.display.append(
+                DisplayEntry(
+                    time=self.scheduler.now,
+                    counter=app.counter,
+                    value=app.value,
+                    source=frame.source.address,
+                )
+            )

@@ -1,0 +1,54 @@
+"""Tests for the BLE CRC-24."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ble.crc import ADVERTISING_CRC_INIT, BLE_CRC24_POLY, ble_crc24, ble_crc24_bits
+
+
+class TestCrc24:
+    def test_polynomial_terms(self):
+        # x^24 + x^10 + x^9 + x^6 + x^4 + x^3 + x + 1
+        expected = (1 << 10) | (1 << 9) | (1 << 6) | (1 << 4) | (1 << 3) | (1 << 1) | 1
+        assert BLE_CRC24_POLY == expected
+
+    def test_empty_pdu_returns_init(self):
+        assert ble_crc24(b"") == ADVERTISING_CRC_INIT
+
+    def test_fits_24_bits(self):
+        assert 0 <= ble_crc24(b"\xff" * 40) < (1 << 24)
+
+    def test_custom_init(self):
+        assert ble_crc24(b"ab", init=0x123456) != ble_crc24(b"ab")
+
+    def test_bits_msb_first(self):
+        value = ble_crc24(b"hello")
+        bits = ble_crc24_bits(b"hello")
+        assert bits.size == 24
+        assert int("".join(map(str, bits)), 2) == value
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_single_bitflip_detected(self, pdu):
+        clean = ble_crc24(pdu)
+        corrupted = bytearray(pdu)
+        corrupted[len(pdu) // 2] ^= 0x10
+        assert ble_crc24(bytes(corrupted)) != clean
+
+    @given(st.binary(max_size=40))
+    def test_reflected_form_equivalence(self, pdu):
+        """An independent right-shifting (reflected) implementation — the
+        form used by real BLE firmware — must agree bit-for-bit."""
+        state = int(f"{ADVERTISING_CRC_INIT:024b}"[::-1], 2)
+        lfsr_mask = 0x5A6000  # the 24-bit bit-reversal of polynomial 0x65B
+        for byte in pdu:
+            current = byte
+            for _ in range(8):
+                next_bit = (state ^ current) & 1
+                current >>= 1
+                state >>= 1
+                if next_bit:
+                    state |= 1 << 23
+                    state ^= lfsr_mask
+        reflected = int(f"{state:024b}"[::-1], 2)
+        assert reflected == ble_crc24(bytes(pdu))

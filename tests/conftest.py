@@ -1,0 +1,35 @@
+"""Shared fixtures for the WazaBee reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radio.medium import RfMedium
+from repro.radio.scheduler import Scheduler
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def scheduler() -> Scheduler:
+    return Scheduler()
+
+
+@pytest.fixture()
+def quiet_medium(scheduler: Scheduler) -> RfMedium:
+    """A medium with a very low noise floor and no interference."""
+    return RfMedium(
+        scheduler,
+        noise_floor_dbm=-120.0,
+        rng=np.random.default_rng(99),
+    )
+
+
+@pytest.fixture()
+def medium(scheduler: Scheduler) -> RfMedium:
+    """The default medium (realistic noise floor, no interferers)."""
+    return RfMedium(scheduler, rng=np.random.default_rng(7))

@@ -1,0 +1,95 @@
+"""Tests for the WazaBee firmware orchestration layer."""
+
+import numpy as np
+import pytest
+
+from repro.chips import Nrf52832
+from repro.core.firmware import WazaBeeFirmware
+from repro.dot15d4.frames import Address, build_data
+from repro.zigbee.network import CoordinatorNode, SensorNode
+
+PAN = 0x1234
+COORD = Address(pan_id=PAN, address=0x0042)
+SENSOR = Address(pan_id=PAN, address=0x0063)
+
+
+@pytest.fixture()
+def firmware(quiet_medium, scheduler):
+    chip = Nrf52832(quiet_medium, position=(0, 0), rng=np.random.default_rng(1))
+    return WazaBeeFirmware(chip, scheduler)
+
+
+@pytest.fixture()
+def network(quiet_medium):
+    coordinator = CoordinatorNode(
+        quiet_medium, address=COORD, position=(3, 0), rng=np.random.default_rng(2)
+    )
+    sensor = SensorNode(
+        quiet_medium,
+        address=SENSOR,
+        coordinator=COORD,
+        position=(3, 1),
+        report_interval_s=0.5,
+        rng=np.random.default_rng(3),
+    )
+    coordinator.start()
+    sensor.start()
+    return coordinator, sensor
+
+
+class TestSniffer:
+    def test_sniffs_network_traffic(self, firmware, network, scheduler):
+        frames = []
+        firmware.start_sniffer(14, lambda f, d: frames.append(f))
+        scheduler.run(1.2)
+        assert any(f.source == SENSOR for f in frames)
+
+    def test_stop_sniffer(self, firmware, network, scheduler):
+        frames = []
+        firmware.start_sniffer(14, lambda f, d: frames.append(f))
+        firmware.stop_sniffer()
+        scheduler.run(1.2)
+        assert frames == []
+
+    def test_raw_frames_include_everything(self, firmware, network, scheduler):
+        firmware.start_sniffer(14, lambda f, d: None)
+        scheduler.run(1.2)
+        assert len(firmware.raw_frames) >= 1
+
+
+class TestInjection:
+    def test_send_frame_reaches_coordinator(self, firmware, network, scheduler):
+        coordinator, _sensor = network
+        from repro.zigbee.xbee import SensorReading
+
+        fake = SensorReading(counter=7, value=123)
+        frame = build_data(SENSOR, COORD, fake.to_payload(), sequence_number=42)
+        firmware.send_frame(frame, channel=14)
+        scheduler.run(0.05)
+        assert any(e.value == 123 for e in coordinator.display)
+
+
+class TestActiveScan:
+    def test_finds_network(self, firmware, network, scheduler):
+        done = []
+        firmware.active_scan([11, 12, 13, 14], dwell_s=0.05, on_complete=done.append)
+        scheduler.run(1.0)
+        assert done, "scan did not complete"
+        results = done[0]
+        assert any(
+            r.channel == 14 and r.pan_id == PAN and r.coordinator_address == 0x0042
+            for r in results
+        )
+
+    def test_empty_band_finds_nothing(self, firmware, scheduler):
+        done = []
+        firmware.active_scan([11, 12], dwell_s=0.02, on_complete=done.append)
+        scheduler.run(0.5)
+        assert done and done[0] == []
+
+    def test_no_duplicate_results(self, firmware, network, scheduler):
+        done = []
+        firmware.active_scan([14, 14], dwell_s=0.05, on_complete=done.append)
+        scheduler.run(1.0)
+        channels = [(r.channel, r.pan_id) for r in done[0]]
+        assert len(channels) == len(set(channels))

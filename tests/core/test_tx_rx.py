@@ -1,0 +1,159 @@
+"""Tests for the WazaBee TX/RX primitives on chip models."""
+
+import numpy as np
+import pytest
+
+from repro.chips import Cc1352R1, Nrf52832, RzUsbStick
+from repro.core.encoding import frame_to_msk_bits, wazabee_access_address
+from repro.core.rx import MAX_CAPTURE_BITS, WazaBeeReceiver, decode_payload_bits
+from repro.core.tx import WazaBeeTransmitter
+from repro.dot15d4.frames import Address, build_data
+
+SRC = Address(pan_id=0x1234, address=0x0042)
+DST = Address(pan_id=0x1234, address=0x0063)
+
+
+@pytest.fixture()
+def nrf(quiet_medium):
+    return Nrf52832(quiet_medium, position=(0, 0), rng=np.random.default_rng(1))
+
+
+@pytest.fixture()
+def cc(quiet_medium):
+    return Cc1352R1(quiet_medium, position=(0, 0), rng=np.random.default_rng(2))
+
+
+@pytest.fixture()
+def zigbee(quiet_medium):
+    radio = RzUsbStick(quiet_medium, position=(3, 0), rng=np.random.default_rng(3))
+    radio.set_channel(14)
+    return radio
+
+
+class TestTransmitter:
+    def test_requires_configuration(self, nrf):
+        tx = WazaBeeTransmitter(nrf)
+        with pytest.raises(RuntimeError):
+            tx.transmit_psdu(b"\x00\x01")
+
+    def test_configure_sets_radio_state(self, nrf):
+        tx = WazaBeeTransmitter(nrf)
+        tx.configure(14)
+        assert nrf.transceiver.tuned_hz == 2420e6
+        assert nrf._access_address == wazabee_access_address()
+        assert not nrf._crc_enabled
+        assert not nrf.whitening_enabled
+        assert tx.channel == 14
+
+    def test_whitening_disabled_path_bits(self, nrf):
+        tx = WazaBeeTransmitter(nrf)
+        tx.configure(14)
+        frame = build_data(SRC, DST, b"x", sequence_number=1)
+        sent = tx.transmit(frame)
+        assert np.array_equal(sent, frame_to_msk_bits(frame.to_bytes()))
+
+    def test_whitening_forced_path_pre_inverts(self, cc):
+        """CC1352 cannot disable whitening: the bits handed to the radio
+        must be the pre-inverted stream."""
+        from repro.ble.whitening import whiten
+
+        tx = WazaBeeTransmitter(cc)
+        tx.configure(14)
+        assert cc.whitening_enabled
+        frame = build_data(SRC, DST, b"x", sequence_number=1)
+        sent = tx.transmit(frame)
+        raw = frame_to_msk_bits(frame.to_bytes())
+        assert np.array_equal(sent, whiten(raw, cc.whitening_channel))
+
+    def test_received_by_real_zigbee_radio(self, nrf, zigbee, scheduler):
+        received = []
+        zigbee.start_rx(received.append)
+        tx = WazaBeeTransmitter(nrf)
+        tx.configure(14)
+        frame = build_data(SRC, DST, b"payload", sequence_number=5)
+        tx.transmit(frame)
+        scheduler.run(0.01)
+        assert len(received) == 1
+        assert received[0].fcs_ok
+        assert received[0].psdu == frame.to_bytes()
+
+    def test_wrong_channel_not_received(self, nrf, zigbee, scheduler):
+        zigbee.set_channel(11)
+        received = []
+        zigbee.start_rx(received.append)
+        tx = WazaBeeTransmitter(nrf)
+        tx.configure(20)  # 2450 MHz vs receiver at 2405 MHz
+        tx.transmit(build_data(SRC, DST, b"x", sequence_number=1))
+        scheduler.run(0.01)
+        assert received == []
+
+
+class TestReceiverDecoding:
+    def test_decode_too_short_returns_none(self):
+        assert decode_payload_bits(np.zeros(64, dtype=np.uint8)) is None
+
+    def test_decode_no_sfd_returns_none(self):
+        assert decode_payload_bits(np.zeros(64 * 32, dtype=np.uint8)) is None
+
+    def test_decode_with_chip_errors(self, rng):
+        psdu = build_data(SRC, DST, b"noisy", sequence_number=2).to_bytes()
+        bits = frame_to_msk_bits(psdu)[32:]
+        noisy = bits.copy()
+        flips = rng.random(noisy.size) < 0.03
+        noisy ^= flips.astype(np.uint8)
+        frame = decode_payload_bits(noisy)
+        assert frame is not None
+        assert frame.psdu == psdu
+        assert frame.mean_distance > 0
+
+    def test_max_capture_covers_biggest_frame(self):
+        from repro.phy.ieee802154 import MAX_PSDU_SIZE, Ppdu
+
+        biggest = Ppdu(psdu=bytes(MAX_PSDU_SIZE))
+        assert MAX_CAPTURE_BITS >= biggest.to_chips().size
+
+
+class TestReceiverOnRadio:
+    def test_receives_from_real_zigbee_radio(self, nrf, zigbee, scheduler):
+        rx = WazaBeeReceiver(nrf)
+        got = []
+        rx.start(14, got.append)
+        frame = build_data(DST, SRC, b"from-zigbee", sequence_number=9)
+        zigbee.transmit_frame(frame)
+        scheduler.run(0.01)
+        assert len(got) == 1
+        assert got[0].fcs_ok
+        assert got[0].psdu == frame.to_bytes()
+        assert rx.channel == 14
+
+    def test_cc1352_rewhitening_path(self, cc, zigbee, scheduler):
+        rx = WazaBeeReceiver(cc)
+        got = []
+        rx.start(14, got.append)
+        assert cc.whitening_enabled  # cannot be disabled on this chip
+        frame = build_data(DST, SRC, b"whitened-path", sequence_number=3)
+        zigbee.transmit_frame(frame)
+        scheduler.run(0.01)
+        assert len(got) == 1 and got[0].fcs_ok
+
+    def test_stop_stops_delivery(self, nrf, zigbee, scheduler):
+        rx = WazaBeeReceiver(nrf)
+        got = []
+        rx.start(14, got.append)
+        rx.stop()
+        zigbee.transmit_frame(build_data(DST, SRC, b"x", sequence_number=1))
+        scheduler.run(0.01)
+        assert got == []
+
+    def test_corrupted_fcs_reported(self, nrf, zigbee, scheduler):
+        """A frame whose PSDU carries a broken FCS decodes with fcs_ok
+        False — Table III's 'corrupted' bucket."""
+        rx = WazaBeeReceiver(nrf)
+        got = []
+        rx.start(14, got.append)
+        psdu = bytearray(build_data(DST, SRC, b"x", sequence_number=1).to_bytes())
+        psdu[-1] ^= 0xFF
+        zigbee.transmit_psdu(bytes(psdu))
+        scheduler.run(0.01)
+        assert len(got) == 1
+        assert not got[0].fcs_ok

@@ -1,0 +1,59 @@
+"""AES-128 tests against the FIPS-197 vectors."""
+
+import pytest
+
+from repro.crypto.aes import Aes128, _SBOX
+
+
+class TestFipsVectors:
+    def test_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert Aes128(key).encrypt_block(plaintext) == expected
+
+    def test_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert Aes128(key).encrypt_block(plaintext) == expected
+
+    def test_all_zero(self):
+        # NIST known-answer: AES-128(0^128, 0^128)
+        expected = bytes.fromhex("66e94bd4ef8a2c3b884cfa59ca342b2e")
+        assert Aes128(bytes(16)).encrypt_block(bytes(16)) == expected
+
+
+class TestSbox:
+    def test_known_entries(self):
+        assert _SBOX[0x00] == 0x63
+        assert _SBOX[0x01] == 0x7C
+        assert _SBOX[0x53] == 0xED
+        assert _SBOX[0xFF] == 0x16
+
+    def test_is_permutation(self):
+        assert sorted(_SBOX) == list(range(256))
+
+
+class TestInterface:
+    def test_key_length_checked(self):
+        with pytest.raises(ValueError):
+            Aes128(bytes(15))
+        with pytest.raises(ValueError):
+            Aes128(bytes(32))
+
+    def test_block_length_checked(self):
+        cipher = Aes128(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(bytes(15))
+
+    def test_deterministic(self):
+        cipher = Aes128(b"0123456789abcdef")
+        assert cipher.encrypt_block(bytes(16)) == cipher.encrypt_block(bytes(16))
+
+    def test_avalanche(self):
+        cipher = Aes128(bytes(16))
+        a = cipher.encrypt_block(bytes(16))
+        b = cipher.encrypt_block(b"\x01" + bytes(15))
+        differing = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert differing > 40  # ~half of 128 bits

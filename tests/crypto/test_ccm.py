@@ -1,0 +1,120 @@
+"""CCM tests against RFC 3610 vectors plus property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.ccm import CcmError, ccm_decrypt, ccm_encrypt
+
+KEY = bytes.fromhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF")
+
+
+class TestRfc3610:
+    def test_vector_1(self):
+        nonce = bytes.fromhex("00000003020100A0A1A2A3A4A5")
+        aad = bytes.fromhex("0001020304050607")
+        plaintext = bytes.fromhex(
+            "08090A0B0C0D0E0F101112131415161718191A1B1C1D1E"
+        )
+        expected = bytes.fromhex(
+            "588C979A61C663D2F066D0C2C0F989806D5F6B61DAC38417E8D12CFDF926E0"
+        )
+        assert ccm_encrypt(KEY, nonce, plaintext, aad=aad, mic_length=8) == expected
+
+    def test_vector_2(self):
+        nonce = bytes.fromhex("00000004030201A0A1A2A3A4A5")
+        aad = bytes.fromhex("0001020304050607")
+        plaintext = bytes.fromhex(
+            "08090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F"
+        )
+        expected = bytes.fromhex(
+            "72C91A36E135F8CF291CA894085C87E3CC15C439C9E43A3BA091D56E10400916"
+        )
+        assert ccm_encrypt(KEY, nonce, plaintext, aad=aad, mic_length=8) == expected
+
+    def test_vector_3(self):
+        nonce = bytes.fromhex("00000005040302A0A1A2A3A4A5")
+        aad = bytes.fromhex("0001020304050607")
+        plaintext = bytes.fromhex(
+            "08090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F20"
+        )
+        expected = bytes.fromhex(
+            "51B1E5F44A197D1DA46B0F8E2D282AE871E838BB64DA8596574ADAA76FBD9FB0C5"
+        )
+        assert ccm_encrypt(KEY, nonce, plaintext, aad=aad, mic_length=8) == expected
+
+
+class TestFailures:
+    NONCE = bytes.fromhex("00000003020100A0A1A2A3A4A5")
+
+    def test_bad_mic_detected(self):
+        out = bytearray(ccm_encrypt(KEY, self.NONCE, b"secret", mic_length=8))
+        out[-1] ^= 0x01
+        with pytest.raises(CcmError):
+            ccm_decrypt(KEY, self.NONCE, bytes(out), mic_length=8)
+
+    def test_bad_aad_detected(self):
+        out = ccm_encrypt(KEY, self.NONCE, b"secret", aad=b"header", mic_length=8)
+        with pytest.raises(CcmError):
+            ccm_decrypt(KEY, self.NONCE, out, aad=b"he4der", mic_length=8)
+
+    def test_wrong_key_detected(self):
+        out = ccm_encrypt(KEY, self.NONCE, b"secret", mic_length=8)
+        with pytest.raises(CcmError):
+            ccm_decrypt(bytes(16), self.NONCE, out, mic_length=8)
+
+    def test_wrong_nonce_detected(self):
+        out = ccm_encrypt(KEY, self.NONCE, b"secret", mic_length=8)
+        other = self.NONCE[:-1] + b"\x00"
+        with pytest.raises(CcmError):
+            ccm_decrypt(KEY, other, out, mic_length=8)
+
+    def test_bad_nonce_size(self):
+        with pytest.raises(CcmError):
+            ccm_encrypt(KEY, bytes(12), b"x")
+
+    def test_bad_mic_length(self):
+        with pytest.raises(CcmError):
+            ccm_encrypt(KEY, self.NONCE, b"x", mic_length=3)
+
+    def test_too_short_message(self):
+        with pytest.raises(CcmError):
+            ccm_decrypt(KEY, self.NONCE, b"abc", mic_length=8)
+
+
+class TestCcmStar:
+    NONCE = bytes.fromhex("00000003020100A0A1A2A3A4A5")
+
+    def test_mic_only_mode(self):
+        """CCM* authentication without encryption (levels 1-3)."""
+        out = ccm_encrypt(
+            KEY, self.NONCE, b"in the clear", mic_length=4, encrypt=False
+        )
+        assert out.startswith(b"in the clear")
+        back = ccm_decrypt(KEY, self.NONCE, out, mic_length=4, encrypt=False)
+        assert back == b"in the clear"
+
+    def test_mic_only_tamper_detected(self):
+        out = bytearray(
+            ccm_encrypt(KEY, self.NONCE, b"in the clear", mic_length=4, encrypt=False)
+        )
+        out[0] ^= 0x01
+        with pytest.raises(CcmError):
+            ccm_decrypt(KEY, self.NONCE, bytes(out), mic_length=4, encrypt=False)
+
+    def test_encryption_only_mode(self):
+        """Level 4: encryption with no MIC."""
+        out = ccm_encrypt(KEY, self.NONCE, b"secret", mic_length=0)
+        assert out != b"secret"
+        assert ccm_decrypt(KEY, self.NONCE, out, mic_length=0) == b"secret"
+
+    @given(st.binary(max_size=64), st.binary(max_size=32))
+    def test_roundtrip_property(self, plaintext, aad):
+        out = ccm_encrypt(KEY, self.NONCE, plaintext, aad=aad, mic_length=8)
+        assert len(out) == len(plaintext) + 8
+        back = ccm_decrypt(KEY, self.NONCE, out, aad=aad, mic_length=8)
+        assert back == plaintext
+
+    @given(st.binary(min_size=1, max_size=32))
+    def test_ciphertext_differs_from_plaintext(self, plaintext):
+        out = ccm_encrypt(KEY, self.NONCE, plaintext, mic_length=8)
+        assert out[: len(plaintext)] != plaintext

@@ -1,0 +1,73 @@
+"""Tests for 802.15.4 channels and FCS."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dot15d4.channels import (
+    ZIGBEE_CHANNELS,
+    channel_for_frequency,
+    channel_frequency_hz,
+)
+from repro.dot15d4.fcs import append_fcs, compute_fcs, strip_fcs, verify_fcs
+
+
+class TestChannels:
+    def test_equation_6(self):
+        """fc = 2405 + 5 (k - 11) MHz."""
+        assert channel_frequency_hz(11) == 2405e6
+        assert channel_frequency_hz(14) == 2420e6
+        assert channel_frequency_hz(26) == 2480e6
+
+    def test_sixteen_channels(self):
+        assert ZIGBEE_CHANNELS == tuple(range(11, 27))
+
+    def test_five_mhz_spacing(self):
+        for k in range(11, 26):
+            assert (
+                channel_frequency_hz(k + 1) - channel_frequency_hz(k) == 5e6
+            )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            channel_frequency_hz(10)
+        with pytest.raises(ValueError):
+            channel_frequency_hz(27)
+
+    def test_inverse(self):
+        for k in ZIGBEE_CHANNELS:
+            assert channel_for_frequency(channel_frequency_hz(k)) == k
+        assert channel_for_frequency(2402e6) is None
+
+
+class TestFcs:
+    def test_kermit_check_value(self):
+        assert compute_fcs(b"123456789") == 0x2189
+
+    def test_append_and_verify(self):
+        framed = append_fcs(b"payload")
+        assert len(framed) == 9
+        assert verify_fcs(framed)
+
+    def test_little_endian_trailer(self):
+        framed = append_fcs(b"x")
+        fcs = compute_fcs(b"x")
+        assert framed[-2] == fcs & 0xFF
+        assert framed[-1] == fcs >> 8
+
+    def test_verify_rejects_corruption(self):
+        framed = bytearray(append_fcs(b"payload"))
+        framed[0] ^= 0xFF
+        assert not verify_fcs(bytes(framed))
+
+    def test_verify_too_short(self):
+        assert not verify_fcs(b"\x01")
+
+    def test_strip(self):
+        assert strip_fcs(append_fcs(b"abc")) == b"abc"
+        with pytest.raises(ValueError):
+            strip_fcs(b"abc\x00\x00")
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip_property(self, data):
+        assert verify_fcs(append_fcs(data))
+        assert strip_fcs(append_fcs(data)) == data

@@ -1,0 +1,87 @@
+"""Tests for the chip ↔ MSK-transition conversions.
+
+These pin the physics that makes WazaBee possible, cross-validating the
+closed-form relation against actual modulated waveforms.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.gfsk import FskDemodulator, GfskConfig
+from repro.dsp.msk import chips_to_transitions, transitions_to_chips
+from repro.dsp.oqpsk import OqpskModulator
+
+chips_strategy = st.lists(st.integers(0, 1), min_size=2, max_size=128).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+class TestClosedForm:
+    def test_formula_matches_definition(self):
+        """t_i = c_i ^ c_{i-1} ^ (i odd)."""
+        chips = np.array([1, 1, 0, 0, 1], dtype=np.uint8)
+        # i=1 (odd): 1^1^1=1; i=2: 0^1^0=1; i=3 (odd): 0^0^1=1; i=4: 1^0^0=1
+        assert chips_to_transitions(chips).tolist() == [1, 1, 1, 1]
+
+    def test_with_previous_chip(self):
+        chips = np.array([1, 0], dtype=np.uint8)
+        # transition into chip 0 (even): 1^0^0 = 1 with prev=0
+        out = chips_to_transitions(chips, previous_chip=0)
+        assert out.size == 2
+        assert out[0] == 1
+
+    def test_start_index_parity(self):
+        chips = np.array([1, 1], dtype=np.uint8)
+        even = chips_to_transitions(chips, start_index=0)
+        odd = chips_to_transitions(chips, start_index=1)
+        assert even[0] != odd[0]
+
+    def test_empty_and_single(self):
+        assert chips_to_transitions(np.array([], dtype=np.uint8)).size == 0
+        assert chips_to_transitions(np.array([1], dtype=np.uint8)).size == 0
+
+    @given(chips_strategy)
+    def test_roundtrip(self, chips):
+        transitions = chips_to_transitions(chips, previous_chip=1)
+        recovered = transitions_to_chips(transitions, 0, previous_chip=1)
+        assert np.array_equal(recovered, chips)
+
+    @given(chips_strategy, st.integers(0, 7))
+    def test_roundtrip_any_start_index(self, chips, start):
+        transitions = chips_to_transitions(
+            chips, start_index=start, previous_chip=0
+        )
+        recovered = transitions_to_chips(transitions, start, previous_chip=0)
+        assert np.array_equal(recovered, chips)
+
+
+class TestAgainstWaveform:
+    """The formula must agree with the FM-discriminated O-QPSK waveform."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_oqpsk_rotations_match_formula(self, seed):
+        rng = np.random.default_rng(seed)
+        chips = rng.integers(0, 2, 160).astype(np.uint8)
+        modulator = OqpskModulator(samples_per_chip=8)
+        sig = modulator.modulate(chips)
+        dem = FskDemodulator(GfskConfig(8, 0.5, None), 2e6)
+        disc = dem.discriminate(sig)
+        expected = chips_to_transitions(chips)
+        sync = dem.find_sync(disc, expected[:48], threshold=0.5)
+        assert sync is not None
+        bits = dem.decide_bits(disc, sync.start, expected.size)
+        assert np.array_equal(bits, expected)
+
+    def test_counterclockwise_is_one(self):
+        """An explicit check of the rotation sense convention: chips (1, 1)
+        starting at an odd index rotate the phase counter-clockwise."""
+        modulator = OqpskModulator(samples_per_chip=32)
+        # Sequence 1,1,1,1: transitions at odd i are 1 (CCW).
+        sig = modulator.modulate([1, 1, 1, 1])
+        phase = sig.instantaneous_phase()
+        # Rotation during chip period 1 (odd index).
+        step = phase[2 * 32] - phase[1 * 32]
+        assert step == pytest.approx(np.pi / 2, abs=1e-2)
+        expected = chips_to_transitions(np.array([1, 1, 1, 1], dtype=np.uint8))
+        assert expected[0] == 1

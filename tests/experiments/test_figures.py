@@ -1,0 +1,68 @@
+"""Tests for the Figure 1-3 data generators."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    fig1_fsk_iq,
+    fig2_oqpsk_waveforms,
+    fig3_constellation,
+)
+
+
+class TestFig1:
+    def test_rotation_directions(self):
+        data = fig1_fsk_iq()
+        assert data["phase_one"][-1] > data["phase_one"][0]
+        assert data["phase_zero"][-1] < data["phase_zero"][0]
+
+    def test_quarter_turn_at_msk_index(self):
+        data = fig1_fsk_iq(modulation_index=0.5)
+        advance = data["phase_one"][-1] - data["phase_one"][0]
+        assert advance == pytest.approx(np.pi / 2, rel=0.05)
+
+    def test_unit_circle(self):
+        data = fig1_fsk_iq()
+        radius = np.hypot(data["i_one"], data["q_one"])
+        assert np.allclose(radius, 1.0)
+
+
+class TestFig2:
+    def test_all_traces_present_and_aligned(self):
+        data = fig2_oqpsk_waveforms()
+        n = data["t"].size
+        for key in ("m", "i", "q", "i_carrier", "q_carrier", "s", "envelope"):
+            assert data[key].size == n
+
+    def test_m_is_nrz_of_chips(self):
+        data = fig2_oqpsk_waveforms(chips=(1, 0, 1, 1), samples_per_chip=4)
+        assert data["m"][:4].tolist() == [1, 1, 1, 1]
+        assert data["m"][4:8].tolist() == [-1, -1, -1, -1]
+
+    def test_envelope_constant_in_interior(self):
+        data = fig2_oqpsk_waveforms(samples_per_chip=64)
+        interior = data["envelope"][128:-128]
+        assert interior.min() > 0.99
+        assert interior.max() < 1.01
+
+    def test_s_equals_equation_2(self):
+        data = fig2_oqpsk_waveforms()
+        assert np.allclose(data["s"], data["i_carrier"] - data["q_carrier"])
+
+
+class TestFig3:
+    def test_four_states_on_unit_circle(self):
+        data = fig3_constellation()
+        assert set(data["states"]) == {"11", "01", "00", "10"}
+        for point in data["states"].values():
+            assert abs(point) == pytest.approx(1.0)
+
+    def test_phase_steps_are_quarter_turns(self):
+        data = fig3_constellation()
+        steps = np.asarray(data["phase_steps"])
+        assert np.allclose(np.abs(steps), np.pi / 2, atol=0.05)
+
+    def test_trajectory_has_constant_envelope(self):
+        data = fig3_constellation()
+        trajectory = np.asarray(data["trajectory"])[128:-128]
+        assert np.allclose(np.abs(trajectory), 1.0, atol=1e-6)

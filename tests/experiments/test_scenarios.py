@@ -1,0 +1,53 @@
+"""Tests for the end-to-end scenario harnesses."""
+
+import pytest
+
+from repro.attacks.scenario_b import AttackPhase
+from repro.experiments.scenarios import (
+    build_zigbee_network,
+    run_scenario_a,
+    run_scenario_b,
+)
+from repro.experiments.environment import build_testbed
+
+
+class TestNetworkHarness:
+    def test_network_reports(self):
+        testbed = build_testbed(seed=1)
+        network = build_zigbee_network(testbed, report_interval_s=0.5)
+        network.start()
+        testbed.scheduler.run(2.2)
+        assert len(network.coordinator.display) >= 3
+
+
+class TestScenarioA:
+    def test_short_run(self):
+        result = run_scenario_a(duration_s=20.0, seed=7)
+        # one event per 100 ms (the final tick may fall to float accumulation)
+        assert result.events_total in (200, 201)
+        assert result.events_on_target >= 0
+        assert result.injected_received <= max(result.events_on_target, 0)
+
+    def test_longer_run_injects(self):
+        result = run_scenario_a(duration_s=60.0, seed=7)
+        assert result.events_on_target >= 1
+        assert result.injected_received >= 1
+        # The lottery stays in the right ballpark (1/37 per event).
+        assert result.hit_rate < 0.15
+
+
+class TestScenarioB:
+    def test_full_attack(self):
+        result = run_scenario_b(duration_s=40.0, seed=5)
+        assert result.final_phase is AttackPhase.DONE
+        assert result.network_channel == 14
+        assert result.sensor_channel_after == 26
+        assert result.spoofed_entries == 5
+        # The display shows essentially no legitimate data post-DoS.
+        assert result.legitimate_entries <= 3
+        assert any("active scan" in line for line in result.log)
+
+    def test_seed_changes_nothing_structural(self):
+        result = run_scenario_b(duration_s=40.0, seed=11)
+        assert result.final_phase is AttackPhase.DONE
+        assert result.sensor_channel_after == 26

@@ -1,0 +1,31 @@
+"""Tests for the symmetric-pivot experiment and the data-rate requirement."""
+
+import pytest
+
+from repro.experiments.ablations import data_rate_requirement_check
+from repro.experiments.symmetric import attempt_symmetric_pivot
+
+
+class TestSymmetricPivot:
+    def test_dsss_bounds_the_match(self):
+        result = attempt_symmetric_pivot()
+        assert 0.55 < result.match_fraction < 0.85
+        assert not result.crc_ok
+
+    def test_symbols_are_valid(self):
+        result = attempt_symmetric_pivot()
+        assert all(0 <= s <= 15 for s in result.symbols_used)
+        # Enough symbols to cover the whole target packet.
+        assert len(result.symbols_used) * 32 >= result.target_bits
+
+    def test_custom_pdu(self):
+        result = attempt_symmetric_pivot(pdu=b"\x02\x03\x01\x02\x03")
+        assert result.target_bits > 0
+        assert not result.crc_ok
+
+
+class TestDataRateRequirement:
+    def test_le2m_works_le1m_does_not(self):
+        check = data_rate_requirement_check(frames=5, seed=2)
+        assert check.le2m_received == check.frames
+        assert check.le1m_received == 0

@@ -1,0 +1,96 @@
+"""Tests for the Table III harness (small frame counts for speed)."""
+
+import pytest
+
+from repro.experiments.environment import TestbedProfile as Profile
+from repro.experiments.environment import build_testbed
+from repro.experiments.table3 import (
+    ChannelResult,
+    Table3Result,
+    format_table3,
+    run_table3,
+    run_table3_cell,
+)
+
+
+class TestEnvironment:
+    def test_build_testbed_deterministic(self):
+        a = build_testbed(seed=4)
+        b = build_testbed(seed=4)
+        assert a.profile == b.profile
+        assert a.medium.noise_floor_dbm == b.medium.noise_floor_dbm
+
+    def test_profile_defaults_match_paper(self):
+        profile = Profile()
+        assert profile.distance_m == 3.0
+        assert profile.wifi_channels == (6, 11)
+
+    def test_interferers_installed(self):
+        testbed = build_testbed()
+        assert len(testbed.medium.interferers) == 2
+
+    def test_device_rng_streams_independent(self):
+        testbed = build_testbed(seed=1)
+        a = testbed.device_rng(1).integers(0, 1000)
+        b = testbed.device_rng(2).integers(0, 1000)
+        assert a != b
+
+
+class TestCells:
+    @pytest.mark.parametrize("chip", ["nRF52832", "CC1352-R1"])
+    @pytest.mark.parametrize("primitive", ["rx", "tx"])
+    def test_clean_channel_mostly_valid(self, chip, primitive):
+        result = run_table3_cell(chip, primitive, channel=11, frames=10, seed=1)
+        assert result.total == 10
+        assert result.valid >= 9
+
+    def test_counts_partition(self):
+        result = run_table3_cell("nRF52832", "rx", 17, frames=8, seed=2)
+        assert result.valid + result.corrupted + result.lost == 8
+
+    def test_valid_rate(self):
+        cell = ChannelResult(channel=11, valid=98, corrupted=1, lost=1)
+        assert cell.valid_rate == pytest.approx(0.98)
+        assert ChannelResult(channel=11).valid_rate == 0.0
+
+    def test_unknown_chip_rejected(self):
+        with pytest.raises(ValueError):
+            run_table3_cell("ESP32", "rx", 11)
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ValueError):
+            run_table3_cell("nRF52832", "both", 11)
+
+    def test_seed_reproducibility(self):
+        a = run_table3_cell("nRF52832", "tx", 14, frames=10, seed=5)
+        b = run_table3_cell("nRF52832", "tx", 14, frames=10, seed=5)
+        assert (a.valid, a.corrupted, a.lost) == (b.valid, b.corrupted, b.lost)
+
+
+class TestFullRun:
+    def test_subset_run_structure(self):
+        result = run_table3(
+            frames=4, channels=(11, 14), chips=("nRF52832",), primitives=("rx",)
+        )
+        assert set(result.cells) == {("nRF52832", "rx")}
+        assert set(result.cells[("nRF52832", "rx")]) == {11, 14}
+        assert result.average_valid_rate("nRF52832", "rx") > 0.5
+
+    def test_row_accessor(self):
+        result = run_table3(
+            frames=2, channels=(11,), chips=("nRF52832",), primitives=("rx", "tx")
+        )
+        row = result.row(11)
+        assert set(row) == {("nRF52832", "rx"), ("nRF52832", "tx")}
+
+    def test_format_contains_channels_and_averages(self):
+        result = run_table3(
+            frames=2,
+            channels=(11, 12),
+            chips=("nRF52832", "CC1352-R1"),
+            primitives=("rx", "tx"),
+        )
+        text = format_table3(result)
+        assert "11" in text and "12" in text
+        assert "averages:" in text
+        assert "nRF52832" in text and "CC1352-R1" in text

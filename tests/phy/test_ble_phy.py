@@ -1,0 +1,50 @@
+"""Tests for the BLE PHY modem factories."""
+
+import pytest
+
+from repro.ble.packets import PhyMode
+from repro.phy.ble_phy import ble_demodulator, ble_modulator, modem_config
+
+
+class TestModemConfig:
+    def test_defaults(self):
+        config = modem_config()
+        assert config.modulation_index == 0.5
+        assert config.bt == 0.5
+
+    def test_spec_tolerance_enforced(self):
+        modem_config(modulation_index=0.45)
+        modem_config(modulation_index=0.55)
+        with pytest.raises(ValueError):
+            modem_config(modulation_index=0.44)
+        with pytest.raises(ValueError):
+            modem_config(modulation_index=0.56)
+
+
+class TestFactories:
+    def test_le1m_rates(self):
+        mod = ble_modulator(PhyMode.LE_1M)
+        assert mod.symbol_rate == 1e6
+        assert mod.sample_rate == 8e6
+
+    def test_le2m_rates(self):
+        mod = ble_modulator(PhyMode.LE_2M)
+        assert mod.symbol_rate == 2e6
+        assert mod.sample_rate == 16e6
+
+    def test_demodulator_matches(self):
+        dem = ble_demodulator(PhyMode.LE_2M)
+        assert dem.symbol_rate == 2e6
+        assert dem.frequency_deviation == pytest.approx(500e3)
+
+    def test_loopback(self, rng):
+        import numpy as np
+
+        sync = np.array([0, 1, 1, 0, 1, 0, 0, 1] * 4, dtype=np.uint8)
+        payload = rng.integers(0, 2, 64).astype(np.uint8)
+        mod = ble_modulator(PhyMode.LE_2M)
+        dem = ble_demodulator(PhyMode.LE_2M)
+        sig = mod.modulate(np.concatenate([sync, payload]))
+        result = dem.demodulate_packet(sig, sync, payload.size)
+        assert result is not None
+        assert np.array_equal(result[0], payload)

@@ -1,0 +1,199 @@
+"""Tests for the 802.15.4 PHY: Table I, DSSS, PPDU framing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.ieee802154 import (
+    CHIPS_PER_SYMBOL,
+    MAX_PSDU_SIZE,
+    PN_MATRIX,
+    PN_SEQUENCES,
+    Ppdu,
+    SHR_SYMBOLS,
+    byte_for_symbols,
+    despread_chips,
+    despread_symbol,
+    spread_bytes,
+    spread_symbols,
+    symbols_for_byte,
+)
+
+
+class TestTable1:
+    def test_sixteen_sequences_of_32_chips(self):
+        assert len(PN_SEQUENCES) == 16
+        assert all(seq.size == 32 for seq in PN_SEQUENCES)
+
+    def test_first_row_matches_paper(self):
+        expected = "11011001110000110101001000101110"
+        assert "".join(map(str, PN_SEQUENCES[0])) == expected
+
+    def test_last_row_matches_paper(self):
+        expected = "11001001011000000111011110111000"
+        assert "".join(map(str, PN_SEQUENCES[15])) == expected
+
+    def test_all_sequences_distinct(self):
+        assert len({seq.tobytes() for seq in PN_SEQUENCES}) == 16
+
+    def test_cyclic_shift_structure(self):
+        """Symbols 0-7 are 4-chip cyclic rotations of each other (a known
+        property of the 802.15.4 code family)."""
+        base = PN_SEQUENCES[0]
+        for k in range(8):
+            assert np.array_equal(PN_SEQUENCES[k], np.roll(base, 4 * k))
+
+    def test_second_family_is_conjugate(self):
+        """Symbols 8-15 are symbols 0-7 with odd chips inverted."""
+        mask = np.array([0, 1] * 16, dtype=np.uint8)
+        for k in range(8):
+            assert np.array_equal(PN_SEQUENCES[8 + k], PN_SEQUENCES[k] ^ mask)
+
+    def test_minimum_pairwise_distance(self):
+        """The code's error margin: any two PN sequences differ in many
+        chip positions (the DSSS processing gain WazaBee relies on)."""
+        distances = [
+            int(np.count_nonzero(PN_SEQUENCES[i] != PN_SEQUENCES[j]))
+            for i in range(16)
+            for j in range(i + 1, 16)
+        ]
+        assert min(distances) >= 12
+
+
+class TestNibbles:
+    def test_low_nibble_first(self):
+        assert symbols_for_byte(0xA7) == (0x7, 0xA)
+
+    def test_roundtrip(self):
+        for value in range(256):
+            low, high = symbols_for_byte(value)
+            assert byte_for_symbols(low, high) == value
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            symbols_for_byte(256)
+        with pytest.raises(ValueError):
+            byte_for_symbols(16, 0)
+
+
+class TestSpreading:
+    def test_spread_bytes_length(self):
+        assert spread_bytes(b"\x00").size == 64
+        assert spread_bytes(b"ab").size == 128
+
+    def test_spread_symbol_content(self):
+        chips = spread_symbols([3])
+        assert np.array_equal(chips, PN_SEQUENCES[3])
+
+    def test_spread_empty(self):
+        assert spread_bytes(b"").size == 0
+
+    def test_invalid_symbol(self):
+        with pytest.raises(ValueError):
+            spread_symbols([16])
+
+    def test_despread_exact(self):
+        for symbol in range(16):
+            decoded, distance = despread_symbol(PN_SEQUENCES[symbol])
+            assert decoded == symbol
+            assert distance == 0
+
+    def test_despread_with_errors(self):
+        """Up to 5 chip flips must still decode (min distance >= 12)."""
+        rng = np.random.default_rng(0)
+        for symbol in range(16):
+            chips = PN_SEQUENCES[symbol].copy()
+            flip = rng.choice(32, size=5, replace=False)
+            chips[flip] ^= 1
+            decoded, distance = despread_symbol(chips)
+            assert decoded == symbol
+            assert distance == 5
+
+    def test_despread_wrong_size(self):
+        with pytest.raises(ValueError):
+            despread_symbol(np.zeros(31, dtype=np.uint8))
+
+    def test_despread_chips_stream(self):
+        stream = spread_symbols([1, 2, 3])
+        symbols, distances = despread_chips(stream)
+        assert symbols == [1, 2, 3]
+        assert distances == [0, 0, 0]
+
+    def test_despread_chips_ignores_tail(self):
+        stream = np.concatenate([spread_symbols([5]), np.zeros(7, dtype=np.uint8)])
+        symbols, _ = despread_chips(stream)
+        assert symbols == [5]
+
+    def test_despread_chips_max_distance_stops(self):
+        stream = np.concatenate(
+            [spread_symbols([5]), np.ones(32, dtype=np.uint8) ^ PN_SEQUENCES[0]]
+        )
+        symbols, _ = despread_chips(stream, max_distance=3)
+        assert symbols == [5]
+
+    @given(st.binary(min_size=1, max_size=16))
+    def test_spread_despread_roundtrip(self, data):
+        symbols, _ = despread_chips(spread_bytes(data))
+        reassembled = bytes(
+            byte_for_symbols(symbols[2 * i], symbols[2 * i + 1])
+            for i in range(len(data))
+        )
+        assert reassembled == data
+
+
+class TestPpdu:
+    def test_shr_symbols(self):
+        assert SHR_SYMBOLS == (0,) * 8 + (0x7, 0xA)
+
+    def test_to_symbols_layout(self):
+        ppdu = Ppdu(psdu=b"\xab")
+        symbols = ppdu.to_symbols()
+        assert symbols[:10] == list(SHR_SYMBOLS)
+        assert symbols[10:12] == [1, 0]  # PHR = length 1
+        assert symbols[12:] == [0xB, 0xA]
+
+    def test_chip_count(self):
+        ppdu = Ppdu(psdu=b"xy")
+        assert ppdu.to_chips().size == 32 * ppdu.num_symbols
+        assert ppdu.num_symbols == 10 + 2 * 3
+
+    def test_airtime(self):
+        ppdu = Ppdu(psdu=b"")
+        assert ppdu.airtime_seconds == pytest.approx(12 * 32 / 2e6)
+
+    def test_max_size_enforced(self):
+        with pytest.raises(ValueError):
+            Ppdu(psdu=bytes(MAX_PSDU_SIZE + 1))
+
+    def test_parse_roundtrip(self):
+        ppdu = Ppdu(psdu=b"hello world")
+        symbols = ppdu.to_symbols()
+        parsed = Ppdu.parse_symbols(symbols[8:])  # strip preamble only
+        assert parsed is not None
+        assert parsed.psdu == b"hello world"
+
+    def test_parse_requires_sfd(self):
+        assert Ppdu.parse_symbols([0, 0, 1, 0]) is None
+
+    def test_parse_truncated(self):
+        ppdu = Ppdu(psdu=b"hello")
+        symbols = ppdu.to_symbols()[8:-2]
+        assert Ppdu.parse_symbols(symbols) is None
+
+    def test_find_sfd(self):
+        symbols = list(SHR_SYMBOLS) + [1, 0]
+        assert Ppdu.find_sfd(symbols) == 8
+
+    def test_find_sfd_absent(self):
+        assert Ppdu.find_sfd([0] * 20) is None
+
+    def test_find_sfd_respects_limit(self):
+        symbols = [0] * 20 + [0x7, 0xA]
+        assert Ppdu.find_sfd(symbols, search_limit=10) is None
+        assert Ppdu.find_sfd(symbols, search_limit=21) == 20
+
+    @given(st.binary(max_size=32))
+    def test_symbols_roundtrip_property(self, psdu):
+        symbols = Ppdu(psdu=psdu).to_symbols()
+        parsed = Ppdu.parse_symbols(symbols[8:])
+        assert parsed is not None and parsed.psdu == psdu

@@ -1,0 +1,97 @@
+"""Tests for the WiFi interferer model."""
+
+import numpy as np
+import pytest
+
+from repro.radio.interference import (
+    WIFI_BANDWIDTH_HZ,
+    WifiInterferer,
+    wifi_channel_frequency_hz,
+)
+
+
+class TestChannelMap:
+    def test_channel_1(self):
+        assert wifi_channel_frequency_hz(1) == 2412e6
+
+    def test_channels_6_and_11(self):
+        assert wifi_channel_frequency_hz(6) == 2437e6
+        assert wifi_channel_frequency_hz(11) == 2462e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wifi_channel_frequency_hz(0)
+        with pytest.raises(ValueError):
+            wifi_channel_frequency_hz(14)
+
+
+class TestSpectralMask:
+    def test_full_overlap_in_center(self):
+        wifi = WifiInterferer(channel=6, power_dbm=-40.0)
+        # Zigbee 17 (2435 MHz) sits in the flat part of WiFi 6.
+        power = wifi.power_density_in_band(2435e6, 2e6)
+        assert power > 0
+
+    def test_no_overlap_far_away(self):
+        wifi = WifiInterferer(channel=6)
+        assert wifi.power_density_in_band(2480e6, 2e6) == 0.0
+
+    def test_shoulder_attenuated(self):
+        wifi = WifiInterferer(channel=6, power_dbm=-40.0)
+        center = wifi.power_density_in_band(2437e6, 2e6)
+        shoulder = wifi.power_density_in_band(2447e6, 2e6)
+        assert shoulder < center / 4
+
+    def test_total_power_conserved(self):
+        """Integrating the mask over the whole occupied band recovers the
+        burst power."""
+        wifi = WifiInterferer(channel=6, power_dbm=-40.0)
+        total = wifi.power_density_in_band(wifi.center_hz, WIFI_BANDWIDTH_HZ)
+        assert total == pytest.approx(10 ** (-40.0 / 10.0), rel=1e-6)
+
+    def test_zigbee_channels_covered_match_paper(self):
+        """WiFi 6 and 11 must hit the Zigbee channels Table III shows
+        dipping (16-18 and 21-23) and spare the far ones."""
+        from repro.dot15d4.channels import channel_frequency_hz
+
+        wifi6 = WifiInterferer(channel=6)
+        wifi11 = WifiInterferer(channel=11)
+        hit = {
+            ch
+            for ch in range(11, 27)
+            for w in (wifi6, wifi11)
+            if w.power_density_in_band(channel_frequency_hz(ch), 2e6)
+            > 0.05 * w.power_density_in_band(w.center_hz, 2e6)
+        }
+        assert {16, 17, 18, 21, 22, 23} <= hit
+        assert {11, 12, 13, 26}.isdisjoint(hit)
+
+
+class TestBursts:
+    def test_duty_cycle_zero_is_silent(self, rng):
+        wifi = WifiInterferer(channel=6, duty_cycle=0.0)
+        burst = wifi.contribution(2437e6, 2e6, 1000, 16e6, rng)
+        assert burst.power() == 0.0
+
+    def test_duty_cycle_one_always_bursts(self, rng):
+        wifi = WifiInterferer(channel=6, duty_cycle=1.0, power_dbm=-40.0)
+        burst = wifi.contribution(2437e6, 2e6, 4000, 16e6, rng)
+        assert burst.power() > 0.0
+
+    def test_out_of_band_always_silent(self, rng):
+        wifi = WifiInterferer(channel=6, duty_cycle=1.0)
+        burst = wifi.contribution(2480e6, 2e6, 1000, 16e6, rng)
+        assert burst.power() == 0.0
+
+    def test_burst_rate_matches_duty_cycle(self):
+        wifi = WifiInterferer(channel=6, duty_cycle=0.25)
+        rng = np.random.default_rng(0)
+        hits = sum(
+            wifi.contribution(2437e6, 2e6, 256, 16e6, rng).power() > 0
+            for _ in range(400)
+        )
+        assert hits / 400 == pytest.approx(0.25, abs=0.06)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WifiInterferer(channel=6, duty_cycle=1.5)

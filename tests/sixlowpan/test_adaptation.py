@@ -1,0 +1,135 @@
+"""Tests for the 6LoWPAN adaptation layer over real radios."""
+
+import numpy as np
+import pytest
+
+from repro.chips.rzusbstick import Dot15d4Radio
+from repro.dot15d4.frames import Address
+from repro.dot15d4.mac import MacService
+from repro.sixlowpan import SixLowpanAdaptation
+
+PAN = 0x1234
+A = Address(pan_id=PAN, address=0x0010)
+B = Address(pan_id=PAN, address=0x0020)
+
+
+@pytest.fixture()
+def pair(quiet_medium):
+    radio_a = Dot15d4Radio(
+        quiet_medium, "a", (0, 0), rng=np.random.default_rng(1)
+    )
+    radio_b = Dot15d4Radio(
+        quiet_medium, "b", (3, 0), rng=np.random.default_rng(2)
+    )
+    radio_a.set_channel(14)
+    radio_b.set_channel(14)
+    mac_a = MacService(radio_a, A)
+    mac_b = MacService(radio_b, B)
+    node_a = SixLowpanAdaptation(mac_a)
+    node_b = SixLowpanAdaptation(mac_b)
+    mac_a.start()
+    mac_b.start()
+    return node_a, node_b, quiet_medium.scheduler
+
+
+class TestUdpDelivery:
+    def test_short_datagram(self, pair):
+        a, b, sched = pair
+        got = []
+        b.on_udp(got.append)
+        a.send_udp(0x0020, 0xF0B1, 0xF0B2, b"hello")
+        sched.run(0.05)
+        assert len(got) == 1
+        received = got[0]
+        assert received.datagram.payload == b"hello"
+        assert received.checksum_ok
+        assert received.link_source == 0x0010
+        assert received.header.pretty_source().startswith("fe80::")
+
+    def test_fragmented_datagram(self, pair):
+        a, b, sched = pair
+        got = []
+        b.on_udp(got.append)
+        payload = bytes(range(250))
+        sequences = a.send_udp(0x0020, 5683, 5683, payload)
+        assert len(sequences) > 1  # fragmentation happened
+        sched.run(0.2)
+        assert len(got) == 1
+        assert got[0].datagram.payload == payload
+        assert b.reassembler.completed == 1
+
+    def test_bidirectional(self, pair):
+        a, b, sched = pair
+        got_a, got_b = [], []
+        a.on_udp(got_a.append)
+        b.on_udp(got_b.append)
+        a.send_udp(0x0020, 1111, 2222, b"ping")
+        sched.run(0.05)
+        b.send_udp(0x0010, 2222, 1111, b"pong")
+        sched.run(0.05)
+        assert got_b[0].datagram.payload == b"ping"
+        assert got_a[0].datagram.payload == b"pong"
+
+    def test_addresses_derived_from_mac(self, pair):
+        a, b, _ = pair
+        assert a.address[-2:] == b"\x00\x10"
+        assert a.neighbour_address(0x0020) == b.address
+
+    def test_counters(self, pair):
+        a, b, sched = pair
+        b.on_udp(lambda r: None)
+        a.send_udp(0x0020, 1, 2, b"x")
+        sched.run(0.05)
+        assert a.sent_datagrams == 1
+        assert b.received_datagrams == 1
+        assert b.decode_failures == 0
+
+    def test_garbage_mac_payload_counted(self, pair):
+        from repro.dot15d4.frames import build_data
+
+        a, b, sched = pair
+        frame = build_data(A, B, b"\x61\x00garbage", sequence_number=50)
+        a.mac.send_frame(frame)
+        sched.run(0.05)
+        assert b.decode_failures == 1
+
+    def test_over_wazabee_pivot(self, quiet_medium, scheduler):
+        """The exfiltration path: the UDP sender's MAC frames are injected
+        through a diverted BLE chip instead of a native radio."""
+        from repro.chips import Nrf52832
+        from repro.core.firmware import WazaBeeFirmware
+        from repro.dot15d4.frames import build_data
+        from repro.sixlowpan.fragmentation import fragment_datagram
+        from repro.sixlowpan.iphc import compress_datagram, link_iid
+        from repro.sixlowpan.ipv6 import Ipv6Header, UdpDatagram, link_local_address
+
+        radio_b = Dot15d4Radio(
+            quiet_medium, "sink", (3, 0), rng=np.random.default_rng(2)
+        )
+        radio_b.set_channel(14)
+        mac_b = MacService(radio_b, B)
+        sink = SixLowpanAdaptation(mac_b)
+        mac_b.start()
+        got = []
+        sink.on_udp(got.append)
+
+        chip = Nrf52832(quiet_medium, position=(0, 0), rng=np.random.default_rng(3))
+        firmware = WazaBeeFirmware(chip, scheduler)
+        header = Ipv6Header(
+            source=link_local_address(PAN, 0x0010),
+            destination=link_local_address(PAN, 0x0020),
+        )
+        udp = UdpDatagram(0xF0B1, 0xF0B2, b"exfiltrated-secret")
+        compressed = compress_datagram(
+            header,
+            udp.to_bytes(header),
+            source_link_iid=link_iid(PAN, 0x0010),
+            destination_link_iid=link_iid(PAN, 0x0020),
+        )
+        for fragment in fragment_datagram(compressed, tag=1):
+            frame = build_data(A, B, fragment, sequence_number=9, ack_request=False)
+            firmware.send_frame(frame, channel=14)
+        scheduler.run(0.05)
+        assert len(got) == 1
+        assert got[0].datagram.payload == b"exfiltrated-secret"
+        assert got[0].checksum_ok

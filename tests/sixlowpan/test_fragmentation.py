@@ -1,0 +1,110 @@
+"""Tests for RFC 4944 fragmentation/reassembly."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sixlowpan.fragmentation import (
+    FRAG1_DISPATCH,
+    FRAGN_DISPATCH,
+    Reassembler,
+    fragment_datagram,
+)
+
+
+class TestFragmentation:
+    def test_small_datagram_unfragmented(self):
+        fragments = fragment_datagram(b"short", tag=1)
+        assert fragments == [b"short"]
+
+    def test_large_datagram_fragments(self):
+        datagram = bytes(range(256))
+        fragments = fragment_datagram(datagram, tag=7, max_fragment_payload=64)
+        assert len(fragments) > 2
+        assert fragments[0][0] & 0b11111000 == FRAG1_DISPATCH
+        for fragment in fragments[1:]:
+            assert fragment[0] & 0b11111000 == FRAGN_DISPATCH
+
+    def test_fragment_sizes_respect_budget(self):
+        fragments = fragment_datagram(bytes(500), tag=1, max_fragment_payload=80)
+        assert all(len(f) <= 80 for f in fragments)
+
+    def test_offsets_are_multiples_of_eight(self):
+        fragments = fragment_datagram(bytes(300), tag=1, max_fragment_payload=64)
+        for fragment in fragments[1:]:
+            assert fragment[4] * 8 % 8 == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fragment_datagram(bytes(3000), tag=1)
+        with pytest.raises(ValueError):
+            fragment_datagram(b"x", tag=1 << 16)
+        with pytest.raises(ValueError):
+            fragment_datagram(bytes(100), tag=1, max_fragment_payload=8)
+
+
+class TestReassembly:
+    def test_roundtrip(self):
+        datagram = bytes(range(200))
+        fragments = fragment_datagram(datagram, tag=3, max_fragment_payload=64)
+        reassembler = Reassembler()
+        results = [reassembler.accept(0x10, f) for f in fragments]
+        assert results[-1] == datagram
+        assert all(r is None for r in results[:-1])
+        assert reassembler.completed == 1
+        assert reassembler.pending == 0
+
+    def test_out_of_order(self):
+        datagram = bytes(range(200))
+        fragments = fragment_datagram(datagram, tag=3, max_fragment_payload=64)
+        reassembler = Reassembler()
+        results = [
+            reassembler.accept(0x10, f)
+            for f in [fragments[-1], *fragments[:-1]]
+        ]
+        assert datagram in results
+
+    def test_interleaved_senders(self):
+        a = bytes([1]) * 150
+        b = bytes([2]) * 150
+        fa = fragment_datagram(a, tag=1, max_fragment_payload=64)
+        fb = fragment_datagram(b, tag=1, max_fragment_payload=64)
+        reassembler = Reassembler()
+        outputs = []
+        for x, y in zip(fa, fb):
+            outputs.append(reassembler.accept(0x10, x))
+            outputs.append(reassembler.accept(0x20, y))
+        assert a in outputs and b in outputs
+
+    def test_missing_fragment_stays_pending(self):
+        fragments = fragment_datagram(bytes(300), tag=9, max_fragment_payload=64)
+        reassembler = Reassembler()
+        for fragment in fragments[:-1]:
+            assert reassembler.accept(0x10, fragment) is None
+        assert reassembler.pending == 1
+        assert reassembler.completed == 0
+
+    def test_passthrough_for_plain_payloads(self):
+        reassembler = Reassembler()
+        assert reassembler.accept(0x10, b"\x60plain") == b"\x60plain"
+
+    def test_truncated_header_dropped(self):
+        reassembler = Reassembler()
+        assert reassembler.accept(0x10, bytes([FRAG1_DISPATCH, 1])) is None
+        assert reassembler.dropped == 1
+
+    def test_empty_payload(self):
+        assert Reassembler().accept(0x10, b"") is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(max_size=999), st.integers(0, 0xFFFF))
+    def test_roundtrip_property(self, body, tag):
+        # Real 6LoWPAN datagrams always begin with a valid dispatch byte
+        # (IPHC: 011xxxxx) — without one, a raw payload whose first byte
+        # collides with the FRAG dispatch space would be ambiguous.
+        datagram = b"\x78" + body
+        fragments = fragment_datagram(datagram, tag=tag, max_fragment_payload=72)
+        reassembler = Reassembler()
+        result = None
+        for fragment in fragments:
+            result = reassembler.accept(0x33, fragment) or result
+        assert result == datagram

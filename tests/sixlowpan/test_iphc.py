@@ -1,0 +1,140 @@
+"""Tests for LOWPAN_IPHC compression."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sixlowpan.iphc import (
+    compress_datagram,
+    decompress_datagram,
+    link_iid,
+)
+from repro.sixlowpan.ipv6 import Ipv6Header, UdpDatagram, link_local_address
+
+PAN = 0x1234
+SRC_SHORT, DST_SHORT = 0x0010, 0x0020
+SRC = link_local_address(PAN, SRC_SHORT)
+DST = link_local_address(PAN, DST_SHORT)
+GLOBAL = bytes.fromhex("20010db8") + bytes(10) + b"\x00\x01"
+
+
+def udp_bytes(header, sport=0xF0B1, dport=0xF0B2, payload=b"x"):
+    return UdpDatagram(sport, dport, payload).to_bytes(header)
+
+
+class TestAddressModes:
+    def test_mode3_fully_elided(self):
+        header = Ipv6Header(source=SRC, destination=DST)
+        payload = udp_bytes(header)
+        compressed = compress_datagram(
+            header, payload,
+            source_link_iid=link_iid(PAN, SRC_SHORT),
+            destination_link_iid=link_iid(PAN, DST_SHORT),
+        )
+        # 2 IPHC bytes + 2 NHC bytes + 2 checksum + 1 payload: tiny.
+        assert len(compressed) == 7
+        back_header, back_payload = decompress_datagram(
+            compressed,
+            source_link_iid=link_iid(PAN, SRC_SHORT),
+            destination_link_iid=link_iid(PAN, DST_SHORT),
+        )
+        assert back_header.source == SRC
+        assert back_header.destination == DST
+        assert back_payload == payload
+
+    def test_mode2_16bit_iid(self):
+        header = Ipv6Header(source=SRC, destination=DST)
+        payload = udp_bytes(header)
+        compressed = compress_datagram(header, payload)
+        back, _ = decompress_datagram(compressed)
+        assert back.source == SRC and back.destination == DST
+
+    def test_mode1_64bit_iid(self):
+        other = bytes.fromhex("fe80") + bytes(6) + bytes.fromhex("0123456789abcdef")
+        header = Ipv6Header(source=other, destination=DST)
+        payload = udp_bytes(header)
+        back, _ = decompress_datagram(compress_datagram(header, payload))
+        assert back.source == other
+
+    def test_mode0_global_address(self):
+        header = Ipv6Header(source=GLOBAL, destination=DST)
+        payload = udp_bytes(header)
+        back, _ = decompress_datagram(compress_datagram(header, payload))
+        assert back.source == GLOBAL
+
+    def test_multicast_rejected(self):
+        mc = b"\xff\x02" + bytes(13) + b"\x01"
+        header = Ipv6Header(source=SRC, destination=mc)
+        with pytest.raises(ValueError):
+            compress_datagram(header, udp_bytes(header))
+
+
+class TestFields:
+    def test_hop_limit_codepoints(self):
+        for hop in (1, 64, 255, 17):
+            header = Ipv6Header(source=SRC, destination=DST, hop_limit=hop)
+            payload = udp_bytes(header)
+            back, _ = decompress_datagram(compress_datagram(header, payload))
+            assert back.hop_limit == hop
+
+    def test_traffic_class_inline(self):
+        header = Ipv6Header(
+            source=SRC, destination=DST, traffic_class=42, flow_label=0x0BEEF
+        )
+        payload = udp_bytes(header)
+        back, _ = decompress_datagram(compress_datagram(header, payload))
+        assert back.traffic_class == 42
+        assert back.flow_label == 0x0BEEF
+
+    def test_non_udp_next_header_inline(self):
+        header = Ipv6Header(source=SRC, destination=DST, next_header=58)  # ICMPv6
+        payload = b"\x80\x00\x00\x00"
+        compressed = compress_datagram(header, payload)
+        back, back_payload = decompress_datagram(compressed)
+        assert back.next_header == 58
+        assert back_payload == payload
+
+    def test_not_iphc_rejected(self):
+        with pytest.raises(ValueError):
+            decompress_datagram(b"\x41\x00")
+
+
+class TestUdpNhc:
+    @pytest.mark.parametrize(
+        "sport,dport",
+        [
+            (0xF0B1, 0xF0B5),  # both 4-bit compressible
+            (1234, 0xF042),    # destination 8-bit
+            (0xF042, 1234),    # source 8-bit
+            (5683, 5683),      # both inline
+        ],
+    )
+    def test_port_forms_roundtrip(self, sport, dport):
+        header = Ipv6Header(source=SRC, destination=DST)
+        payload = udp_bytes(header, sport, dport, b"data")
+        back_header, back_payload = decompress_datagram(
+            compress_datagram(header, payload)
+        )
+        udp, ok = UdpDatagram.from_bytes(back_payload, back_header)
+        assert (udp.source_port, udp.destination_port) == (sport, dport)
+        assert ok
+
+    def test_compression_saves_bytes(self):
+        header = Ipv6Header(source=SRC, destination=DST)
+        payload = udp_bytes(header, payload=b"0123456789")
+        uncompressed = 40 + len(payload)
+        compressed = compress_datagram(
+            header, payload,
+            source_link_iid=link_iid(PAN, SRC_SHORT),
+            destination_link_iid=link_iid(PAN, DST_SHORT),
+        )
+        assert len(compressed) < uncompressed / 2
+
+    @given(st.binary(max_size=64))
+    def test_payload_roundtrip_property(self, data):
+        header = Ipv6Header(source=SRC, destination=DST)
+        payload = udp_bytes(header, payload=data)
+        back_header, back_payload = decompress_datagram(
+            compress_datagram(header, payload)
+        )
+        udp, ok = UdpDatagram.from_bytes(back_payload, back_header)
+        assert udp.payload == data and ok

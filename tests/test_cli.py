@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_table3_defaults(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.frames == 100
+        assert args.chips == ["nRF52832", "CC1352-R1"]
+
+
+class TestStaticTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "11011001 11000011 01010010 00101110" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "2420 MHz" in out and "2480 MHz" in out
+
+    def test_alg1(self, capsys):
+        assert main(["alg1"]) == 0
+        out = capsys.readouterr().out
+        assert "access address" in out.lower()
+
+
+class TestRunners:
+    def test_table3_small(self, capsys):
+        code = main(
+            ["table3", "--frames", "3", "--channels", "11",
+             "--chips", "nRF52832", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "averages:" in out
+
+    def test_scenario_b_open_network(self, capsys):
+        assert main(["scenario-b", "--duration", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "sensor channel after: 26" in out
+
+    def test_scenario_b_secured_network(self, capsys):
+        assert main(["scenario-b", "--duration", "20", "--secure"]) == 0
+        out = capsys.readouterr().out
+        assert "sensor channel after: 14" in out
+        assert "0 spoofed" in out
+
+    def test_symmetric(self, capsys):
+        assert main(["symmetric"]) == 0
+        out = capsys.readouterr().out
+        assert "CRC accepted:      False" in out
+
+    def test_similarity_quick(self, capsys):
+        assert main(["similarity", "--bits", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "viable pivot" in out

@@ -1,0 +1,123 @@
+"""Fuzz/robustness tests: every decode path must fail *cleanly* on garbage.
+
+A decoder facing attacker-controlled or corrupted input may return ``None``
+or raise ``ValueError`` (or a documented subclass) — never ``IndexError``,
+``KeyError``, struct errors, or silent nonsense.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ble.packets import AdStructure, AuxPtr, ExtendedAdvertisingPdu, parse_pdu_bits
+from repro.core.rx import decode_payload_bits
+from repro.dot15d4.frames import MacFrame
+from repro.dot15d4.security import SecurityContext, SecurityError
+from repro.phy.ieee802154 import Ppdu
+from repro.sixlowpan.fragmentation import Reassembler
+from repro.sixlowpan.iphc import decompress_datagram
+from repro.sixlowpan.ipv6 import Ipv6Header, UdpDatagram
+from repro.zigbee.xbee import parse_app_payload
+
+binary = st.binary(max_size=200)
+bits = st.lists(st.integers(0, 1), max_size=2048).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+class TestFrameDecoders:
+    @given(binary)
+    def test_mac_frame_parse(self, data):
+        try:
+            MacFrame.parse(data)
+        except ValueError:
+            pass
+
+    @given(binary)
+    def test_mac_frame_parse_unchecked(self, data):
+        try:
+            MacFrame.parse(data, check_fcs=False)
+        except ValueError:
+            pass
+
+    @given(st.lists(st.integers(0, 15), max_size=80))
+    def test_ppdu_parse_symbols(self, symbols):
+        result = Ppdu.parse_symbols(symbols)
+        assert result is None or isinstance(result, Ppdu)
+
+    @given(bits)
+    def test_wazabee_decode_payload_bits(self, data):
+        result = decode_payload_bits(data)
+        assert result is None or result.psdu is not None
+
+
+class TestBleDecoders:
+    @given(bits)
+    def test_parse_pdu_bits(self, data):
+        try:
+            parse_pdu_bits(data, channel=8)
+        except ValueError:
+            pass
+
+    @given(binary)
+    def test_extended_adv_from_pdu(self, data):
+        try:
+            ExtendedAdvertisingPdu.from_pdu(data)
+        except ValueError:
+            pass
+
+    @given(binary)
+    def test_ad_structures(self, data):
+        try:
+            AdStructure.parse_all(data)
+        except ValueError:
+            pass
+
+    @given(st.binary(min_size=3, max_size=3))
+    def test_aux_ptr(self, data):
+        ptr = AuxPtr.from_bytes(data)
+        assert 0 <= ptr.channel <= 63
+
+
+class TestApplicationDecoders:
+    @given(binary)
+    def test_xbee_payload(self, data):
+        parse_app_payload(data)  # returns dataclass or None, never raises
+
+    @given(binary)
+    def test_sixlowpan_decompress(self, data):
+        try:
+            decompress_datagram(data)
+        except ValueError:
+            pass  # and nothing else — truncation must be a clean error
+
+    @given(binary)
+    def test_udp_parse(self, data):
+        try:
+            UdpDatagram.from_bytes(data)
+        except ValueError:
+            pass
+
+    @settings(max_examples=200)
+    @given(st.integers(0, 0xFFFF), binary)
+    def test_reassembler_never_crashes(self, sender, payload):
+        reassembler = Reassembler()
+        reassembler.accept(sender, payload)
+
+
+class TestSecurityDecoder:
+    @given(binary, st.integers(0, 255))
+    def test_unprotect_garbage(self, payload, seq):
+        from repro.dot15d4.frames import Address, FrameType
+
+        context = SecurityContext(key=bytes(16))
+        frame = MacFrame(
+            frame_type=FrameType.DATA,
+            sequence_number=seq,
+            source=Address(pan_id=1, address=2),
+            destination=Address(pan_id=1, address=3),
+            payload=payload,
+            security_enabled=True,
+        )
+        with pytest.raises(SecurityError):
+            context.unprotect(frame)

@@ -1,0 +1,71 @@
+"""Tests for the generic CRC engine against published check values."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.crc import CrcEngine
+
+
+class TestKnownVectors:
+    def test_crc16_kermit_check_value(self):
+        # CRC-16/KERMIT: poly 0x1021, init 0, reflected; check("123456789").
+        engine = CrcEngine(width=16, polynomial=0x1021, init=0, reflect_output=True)
+        assert engine.compute(b"123456789") == 0x2189
+
+    def test_crc16_kermit_empty(self):
+        engine = CrcEngine(width=16, polynomial=0x1021, init=0, reflect_output=True)
+        assert engine.compute(b"") == 0x0000
+
+    def test_ble_crc24_differs_by_init(self):
+        poly = 0x65B
+        a = CrcEngine(24, poly, init=0x555555).compute(b"\x00\x01")
+        b = CrcEngine(24, poly, init=0x000001).compute(b"\x00\x01")
+        assert a != b
+
+    def test_xor_out_applied(self):
+        base = CrcEngine(8, 0x07, init=0)
+        inverted = CrcEngine(8, 0x07, init=0, xor_out=0xFF)
+        assert inverted.compute(b"x") == base.compute(b"x") ^ 0xFF
+
+
+class TestEngineBehaviour:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            CrcEngine(width=0, polynomial=0x07)
+
+    def test_digest_bits_msb(self):
+        engine = CrcEngine(width=8, polynomial=0x07, init=0)
+        value = engine.compute(b"A")
+        bits = engine.digest_bits(b"A", order="msb")
+        assert len(bits) == 8
+        assert int("".join(map(str, bits)), 2) == value
+
+    def test_digest_bits_lsb(self):
+        engine = CrcEngine(width=8, polynomial=0x07, init=0)
+        value = engine.compute(b"A")
+        bits = engine.digest_bits(b"A", order="lsb")
+        assert int("".join(map(str, bits[::-1])), 2) == value
+
+    def test_digest_bits_invalid_order(self):
+        engine = CrcEngine(width=8, polynomial=0x07)
+        with pytest.raises(ValueError):
+            engine.digest_bits(b"A", order="weird")
+
+    def test_verify(self):
+        engine = CrcEngine(width=16, polynomial=0x1021, init=0, reflect_output=True)
+        assert engine.verify(b"123456789", 0x2189)
+        assert not engine.verify(b"123456789", 0x2188)
+
+    @given(st.binary(min_size=1, max_size=32))
+    def test_single_bitflip_detected(self, data):
+        """A CRC must detect any single-bit error."""
+        engine = CrcEngine(width=16, polynomial=0x1021, init=0xFFFF)
+        clean = engine.compute(data)
+        flipped = bytearray(data)
+        flipped[0] ^= 0x01
+        assert engine.compute(bytes(flipped)) != clean
+
+    @given(st.binary(max_size=32))
+    def test_deterministic(self, data):
+        engine = CrcEngine(width=16, polynomial=0x1021)
+        assert engine.compute(data) == engine.compute(data)

@@ -1,0 +1,71 @@
+"""Tests for the LFSR engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.lfsr import FibonacciLfsr, GaloisLfsr
+
+
+class TestFibonacci:
+    def test_maximal_period_x3_x2_1(self):
+        # x^3 + x^2 + 1 is primitive: period 7.
+        lfsr = FibonacciLfsr(degree=3, taps=(3, 2), state=0b001)
+        stream = lfsr.stream(14)
+        assert np.array_equal(stream[:7], stream[7:])
+        assert len(set(map(tuple, [stream[i : i + 3] for i in range(7)]))) == 7
+
+    def test_ble_polynomial_period_127(self):
+        # x^7 + x^4 + 1 is primitive: period 127.
+        lfsr = FibonacciLfsr(degree=7, taps=(7, 4), state=0x40 | 5)
+        stream = lfsr.stream(254)
+        assert np.array_equal(stream[:127], stream[127:])
+        # No shorter period.
+        for p in (1, 7, 31, 63):
+            assert not np.array_equal(stream[:p], stream[p : 2 * p])
+
+    def test_whiten_is_involution(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        a = FibonacciLfsr(7, (7, 4), 0x41)
+        b = FibonacciLfsr(7, (7, 4), 0x41)
+        assert np.array_equal(b.whiten(a.whiten(bits)), bits)
+
+    def test_zero_state_rejected(self):
+        with pytest.raises(ValueError):
+            FibonacciLfsr(7, (7, 4), 0)
+
+    def test_state_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            FibonacciLfsr(3, (3, 2), 0b1000)
+
+    def test_bad_tap_rejected(self):
+        with pytest.raises(ValueError):
+            FibonacciLfsr(3, (4,), 1)
+
+
+class TestGalois:
+    def test_never_reaches_zero(self):
+        lfsr = GaloisLfsr(degree=8, polynomial=0x1D, state=1)
+        for _ in range(512):
+            lfsr.next_bit()
+            assert lfsr.state != 0
+
+    def test_stream_length(self):
+        lfsr = GaloisLfsr(4, 0x3, 0x9)
+        assert lfsr.stream(10).size == 10
+
+    def test_whiten_involution(self):
+        bits = np.array([1, 1, 1, 0, 0, 1], dtype=np.uint8)
+        a = GaloisLfsr(5, 0x5, 0x11)
+        b = GaloisLfsr(5, 0x5, 0x11)
+        assert np.array_equal(b.whiten(a.whiten(bits)), bits)
+
+    def test_zero_state_rejected(self):
+        with pytest.raises(ValueError):
+            GaloisLfsr(4, 0x3, 0)
+
+    @given(st.integers(min_value=1, max_value=127))
+    def test_state_stays_in_range(self, seed):
+        lfsr = GaloisLfsr(7, 0x09, seed)
+        lfsr.stream(50)
+        assert 0 < lfsr.state < 128

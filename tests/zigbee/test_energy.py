@@ -1,0 +1,128 @@
+"""Tests for the battery model and the energy-depletion attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.energy_depletion import EnergyDepletionAttack
+from repro.chips import Nrf52832
+from repro.core.firmware import WazaBeeFirmware
+from repro.dot15d4.frames import Address
+from repro.zigbee.energy import Battery, EnergyProfile
+from repro.zigbee.network import CoordinatorNode, SensorNode
+
+COORD = Address(pan_id=0x1234, address=0x42)
+SENSOR = Address(pan_id=0x1234, address=0x63)
+
+
+class TestEnergyProfile:
+    def test_tx_cost_scales_with_airtime(self):
+        profile = EnergyProfile()
+        assert profile.cost("tx", 2e-3) == pytest.approx(2 * profile.cost("tx", 1e-3))
+
+    def test_rx_includes_wakeup(self):
+        profile = EnergyProfile()
+        assert profile.cost("rx", 0.0) == profile.wakeup_cost_j
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            EnergyProfile().cost("sleep", 1.0)
+
+
+class TestBattery:
+    def test_charges_and_depletes(self):
+        battery = Battery(capacity_j=1e-3)
+        battery.charge_activity("tx", 1e-2)  # 0.9 mJ
+        assert not battery.depleted
+        battery.charge_activity("tx", 1e-2)
+        assert battery.depleted
+        assert battery.remaining_j == 0.0
+
+    def test_no_charge_after_depletion(self):
+        battery = Battery(capacity_j=1e-6)
+        battery.charge_activity("tx", 1.0)
+        entries = len(battery.ledger)
+        battery.charge_activity("tx", 1.0)
+        assert len(battery.ledger) == entries
+
+    def test_ledger_by_kind(self):
+        battery = Battery(capacity_j=1.0)
+        battery.charge_activity("tx", 1e-3)
+        battery.charge_activity("rx", 1e-3)
+        assert battery.consumed_by("tx") > 0
+        assert battery.consumed_by("rx") > battery.consumed_by("tx")
+
+    def test_fraction_remaining(self):
+        battery = Battery(capacity_j=2.0)
+        battery.charge_activity("tx", 1.0 / battery.profile.tx_power_w)
+        assert battery.fraction_remaining == pytest.approx(0.5)
+
+
+class TestDepletionAttack:
+    def _network(self, quiet_medium, capacity_j):
+        battery = Battery(capacity_j=capacity_j)
+        coordinator = CoordinatorNode(
+            quiet_medium, COORD, position=(3, 0), rng=np.random.default_rng(1)
+        )
+        sensor = SensorNode(
+            quiet_medium,
+            SENSOR,
+            COORD,
+            position=(3, 1.5),
+            battery=battery,
+            rng=np.random.default_rng(2),
+        )
+        coordinator.start()
+        sensor.start()
+        return battery, sensor, coordinator
+
+    def test_baseline_consumption_is_modest(self, quiet_medium, scheduler):
+        battery, _, _ = self._network(quiet_medium, capacity_j=0.05)
+        scheduler.run(20.0)
+        assert not battery.depleted
+        assert battery.fraction_remaining > 0.8
+
+    def test_flood_depletes_battery(self, quiet_medium, scheduler):
+        battery, sensor, _ = self._network(quiet_medium, capacity_j=0.05)
+        chip = Nrf52832(quiet_medium, position=(0, 0), rng=np.random.default_rng(3))
+        firmware = WazaBeeFirmware(chip, scheduler)
+        attack = EnergyDepletionAttack(
+            firmware,
+            target=SENSOR,
+            spoofed_source=Address(pan_id=0x1234, address=0x99),
+            channel=14,
+            rate_hz=40.0,
+        )
+        attack.start()
+        scheduler.run(20.0)
+        assert battery.depleted
+        assert attack.frames_sent > 100
+        assert "battery depleted" in sensor.config_log[-1]
+        # Most of the drain is forced receptions, plus forced ACKs.
+        assert battery.consumed_by("rx") > battery.consumed_by("tx")
+
+    def test_attack_rate_validation(self, quiet_medium, scheduler):
+        chip = Nrf52832(quiet_medium, rng=np.random.default_rng(3))
+        firmware = WazaBeeFirmware(chip, scheduler)
+        attack = EnergyDepletionAttack(
+            firmware, target=SENSOR, spoofed_source=COORD, channel=14, rate_hz=0
+        )
+        with pytest.raises(ValueError):
+            attack.start()
+
+    def test_stop_halts_flood(self, quiet_medium, scheduler):
+        battery, _, _ = self._network(quiet_medium, capacity_j=1.0)
+        chip = Nrf52832(quiet_medium, position=(0, 0), rng=np.random.default_rng(3))
+        firmware = WazaBeeFirmware(chip, scheduler)
+        attack = EnergyDepletionAttack(
+            firmware,
+            target=SENSOR,
+            spoofed_source=COORD,
+            channel=14,
+            rate_hz=40.0,
+        )
+        attack.start()
+        scheduler.run(2.0)
+        attack.stop()
+        sent = attack.frames_sent
+        scheduler.run(2.0)
+        assert attack.frames_sent == sent

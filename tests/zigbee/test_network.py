@@ -1,0 +1,138 @@
+"""Tests for the XBee network nodes (§VI-A setup)."""
+
+import numpy as np
+import pytest
+
+from repro.dot15d4.frames import Address, build_data
+from repro.zigbee.network import CoordinatorNode, SensorNode
+from repro.zigbee.xbee import AtCommand, RemoteAtCommand
+
+PAN = 0x1234
+COORD = Address(pan_id=PAN, address=0x0042)
+SENSOR = Address(pan_id=PAN, address=0x0063)
+
+
+@pytest.fixture()
+def network(quiet_medium):
+    coordinator = CoordinatorNode(
+        quiet_medium, address=COORD, position=(0, 0), rng=np.random.default_rng(1)
+    )
+    sensor = SensorNode(
+        quiet_medium,
+        address=SENSOR,
+        coordinator=COORD,
+        position=(2, 0),
+        report_interval_s=0.5,
+        value_source=lambda: 21,
+        rng=np.random.default_rng(2),
+    )
+    coordinator.start()
+    sensor.start()
+    return coordinator, sensor, quiet_medium.scheduler
+
+
+class TestReporting:
+    def test_periodic_reports_reach_display(self, network):
+        coordinator, sensor, sched = network
+        sched.run(2.6)
+        assert sensor.reports_sent == 5
+        assert len(coordinator.display) == 5
+        assert all(e.value == 21 for e in coordinator.display)
+        assert all(e.source == SENSOR.address for e in coordinator.display)
+
+    def test_counters_increment(self, network):
+        coordinator, _, sched = network
+        sched.run(2.6)
+        counters = [e.counter for e in coordinator.display]
+        assert counters == sorted(counters)
+        assert len(set(counters)) == len(counters)
+
+    def test_reports_are_acknowledged(self, network):
+        coordinator, sensor, sched = network
+        sched.run(1.1)
+        assert sensor.mac.stats.acks_received >= 2
+
+    def test_stop_halts_reporting(self, network):
+        _, sensor, sched = network
+        sched.run(0.6)
+        sensor.stop()
+        count = sensor.reports_sent
+        sched.run(2.0)
+        assert sensor.reports_sent == count
+
+
+class TestRemoteAt:
+    def test_channel_change_applied(self, network):
+        coordinator, sensor, sched = network
+        cmd = RemoteAtCommand(command=AtCommand.CHANNEL, parameter=bytes([26]))
+        frame = build_data(COORD, SENSOR, cmd.to_payload(), sequence_number=0x90,
+                           ack_request=False)
+        coordinator.mac.send_frame(frame)
+        sched.run(0.01)
+        assert sensor.radio.channel == 26
+        assert any("CH" in line for line in sensor.config_log)
+
+    def test_channel_change_silences_sensor(self, network):
+        """The DoS effect: after the channel change the coordinator stops
+        hearing the sensor."""
+        coordinator, sensor, sched = network
+        sched.run(0.6)
+        before = len(coordinator.display)
+        cmd = RemoteAtCommand(command=AtCommand.CHANNEL, parameter=bytes([26]))
+        coordinator.mac.send_frame(
+            build_data(COORD, SENSOR, cmd.to_payload(), sequence_number=0x91,
+                       ack_request=False)
+        )
+        sched.run(2.0)
+        assert sensor.radio.channel == 26
+        assert len(coordinator.display) == before
+
+    def test_pan_change_applied(self, network):
+        _, sensor, sched = network
+        cmd = RemoteAtCommand(command=AtCommand.PAN_ID, parameter=(0x4242).to_bytes(2, "little"))
+        frame = build_data(COORD, SENSOR, cmd.to_payload(), sequence_number=0x92,
+                           ack_request=False)
+        from repro.chips.rzusbstick import Dot15d4Radio
+
+        injector = Dot15d4Radio(
+            sensor.radio.transceiver.medium, position=(0, 1),
+            rng=np.random.default_rng(9),
+        )
+        injector.set_channel(14)
+        injector.transmit_frame(frame)
+        sched.run(0.01)
+        assert sensor.address.pan_id == 0x4242
+
+    def test_remote_at_disabled_rejects(self, quiet_medium):
+        sensor = SensorNode(
+            quiet_medium,
+            address=SENSOR,
+            coordinator=COORD,
+            rng=np.random.default_rng(3),
+        )
+        sensor.remote_at_enabled = False
+        sensor.start()
+        injector = CoordinatorNode(
+            quiet_medium, address=COORD, position=(1, 0),
+            rng=np.random.default_rng(4),
+        )
+        injector.start()
+        cmd = RemoteAtCommand(command=AtCommand.CHANNEL, parameter=bytes([26]))
+        injector.mac.send_frame(
+            build_data(COORD, SENSOR, cmd.to_payload(), sequence_number=1,
+                       ack_request=False)
+        )
+        quiet_medium.scheduler.run(0.01)
+        assert sensor.radio.channel == 14
+        assert any("rejected" in line for line in sensor.config_log)
+
+    def test_unknown_at_command_ignored(self, network):
+        coordinator, sensor, sched = network
+        cmd = RemoteAtCommand(command=b"ZZ", parameter=b"")
+        coordinator.mac.send_frame(
+            build_data(COORD, SENSOR, cmd.to_payload(), sequence_number=0x93,
+                       ack_request=False)
+        )
+        sched.run(0.01)
+        assert sensor.radio.channel == 14
+        assert any("ignored" in line for line in sensor.config_log)

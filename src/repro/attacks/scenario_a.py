@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -108,6 +108,12 @@ class SmartphoneInjectionAttack:
         )
         self.records: List[InjectionRecord] = []
         self._sequence = frame.sequence_number
+        self._target_hits: Optional[int] = None
+        self._max_events = 0
+        self._bounded_on_complete: Optional[
+            Callable[["SmartphoneInjectionAttack", bool], None]
+        ] = None
+        self._bounded_done = False
 
     def start(self, interval_s: float = 0.1) -> None:
         """Begin advertising; each event is recorded with its CSA#2 draw."""
@@ -117,8 +123,43 @@ class SmartphoneInjectionAttack:
             event_callback=self._on_event,
         )
 
+    def start_bounded(
+        self,
+        target_hits: int = 1,
+        max_events: int = 200,
+        interval_s: float = 0.1,
+        on_complete: Optional[Callable[["SmartphoneInjectionAttack", bool], None]] = None,
+    ) -> None:
+        """Repeat mode with a budget: advertise until *target_hits* events
+        have landed on the target BLE channel or *max_events* events have
+        elapsed, then stop and report success via *on_complete*.
+
+        The unbounded :meth:`start` runs forever (the paper's "advertise at
+        the smallest interval"); this variant gives benches and attack
+        workflows a guaranteed termination point.  With a full channel map
+        each event hits with probability 1/37, so ``max_events=200`` gives
+        ≈99.6% success for a single hit.
+        """
+        if target_hits < 1:
+            raise ValueError("target_hits must be >= 1")
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self._target_hits = target_hits
+        self._max_events = max_events
+        self._bounded_on_complete = on_complete
+        self._bounded_done = False
+        self.start(interval_s=interval_s)
+
     def stop(self) -> None:
         self.phone.stop_advertising()
+
+    def _finish_bounded(self, success: bool) -> None:
+        if self._bounded_done:
+            return
+        self._bounded_done = True
+        self.stop()
+        if self._bounded_on_complete is not None:
+            self._bounded_on_complete(self, success)
 
     def _on_event(self, event: AdvertisingEvent) -> None:
         self.records.append(
@@ -127,6 +168,13 @@ class SmartphoneInjectionAttack:
                 on_target_channel=event.secondary_channel == self.ble_channel,
             )
         )
+        if self._target_hits is not None and not self._bounded_done:
+            if self.events_on_target >= self._target_hits:
+                self._finish_bounded(True)
+                return
+            if self.events_total >= self._max_events:
+                self._finish_bounded(False)
+                return
         # Rotate the MAC sequence number between events so the target's
         # duplicate-rejection does not swallow repeated injections — the app
         # legitimately updates its advertising data via the standard API.

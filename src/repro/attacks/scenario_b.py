@@ -15,21 +15,29 @@ Four stages, exactly as the paper's figure 5 workflow:
 
 Everything is event-driven on the simulation scheduler; the attack keeps a
 timestamped log so benches/tests can assert the workflow.
+
+Robustness model: every stage that waits on the environment is bounded.
+Stages 1 and 2 get ``max_stage_retries`` re-attempts with exponential
+backoff (scan repeats, eavesdrop windows double); a global watchdog caps
+the whole workflow.  Exhausting a budget terminates in
+:attr:`AttackPhase.FAILED` with a structured :class:`StageDiagnosis` — the
+attack never hangs indefinitely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.firmware import ScanResult, WazaBeeFirmware
+from repro.core.firmware import ReliableSendResult, ScanResult, WazaBeeFirmware
 from repro.core.rx import DecodedFrame
 from repro.dot15d4.channels import ZIGBEE_CHANNELS
 from repro.dot15d4.frames import Address, FrameType, MacFrame, build_data
+from repro.radio.scheduler import EventHandle
 from repro.zigbee.xbee import AtCommand, RemoteAtCommand, SensorReading
 
-__all__ = ["AttackPhase", "TrackerAttack", "AttackLogEntry"]
+__all__ = ["AttackPhase", "TrackerAttack", "AttackLogEntry", "StageDiagnosis"]
 
 
 class AttackPhase(Enum):
@@ -49,6 +57,26 @@ class AttackLogEntry:
     message: str
 
 
+@dataclass
+class StageDiagnosis:
+    """Structured post-mortem for a failed (or watchdog-killed) stage."""
+
+    stage: AttackPhase
+    attempts: int
+    elapsed_s: float
+    reason: str
+    suggestion: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        text = (
+            f"{self.stage.value} failed after {self.attempts} attempt(s) "
+            f"and {self.elapsed_s:.3f}s: {self.reason}"
+        )
+        if self.suggestion:
+            text += f" ({self.suggestion})"
+        return text
+
+
 class TrackerAttack:
     """The §VI-C attack state machine, running on WazaBee firmware."""
 
@@ -65,6 +93,11 @@ class TrackerAttack:
         scan_dwell_s: float = 0.05,
         at_injection_delay_s: float = 0.01,
         at_injection_repeats: int = 3,
+        max_stage_retries: int = 1,
+        retry_backoff_s: float = 0.1,
+        max_attack_duration_s: Optional[float] = 120.0,
+        reliable_spoofing: bool = False,
+        spoof_max_attempts: int = 4,
     ):
         self.firmware = firmware
         self.channels = list(channels)
@@ -77,6 +110,11 @@ class TrackerAttack:
         self.scan_dwell_s = scan_dwell_s
         self.at_injection_delay_s = at_injection_delay_s
         self.at_injection_repeats = at_injection_repeats
+        self.max_stage_retries = max_stage_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.max_attack_duration_s = max_attack_duration_s
+        self.reliable_spoofing = reliable_spoofing
+        self.spoof_max_attempts = spoof_max_attempts
 
         self.phase = AttackPhase.IDLE
         self.log: List[AttackLogEntry] = []
@@ -84,7 +122,13 @@ class TrackerAttack:
         self.sensor_address: Optional[Address] = None
         self.coordinator_address: Optional[Address] = None
         self.fake_reports_sent = 0
+        self.fake_reports_delivered = 0
+        self.diagnosis: Optional[StageDiagnosis] = None
+        self.stage_attempts: Dict[AttackPhase, int] = {}
         self._fake_counter = 1000
+        self._started_at = 0.0
+        self._stage_started_at = 0.0
+        self._watchdog: Optional[EventHandle] = None
         self._on_complete: Optional[Callable[["TrackerAttack"], None]] = None
 
     # -- public ------------------------------------------------------------
@@ -93,10 +137,13 @@ class TrackerAttack:
     ) -> None:
         """Start the attack; phases advance via scheduled callbacks."""
         self._on_complete = on_complete
+        self._started_at = self.scheduler.now
+        if self.max_attack_duration_s is not None:
+            self._watchdog = self.scheduler.schedule(
+                self.max_attack_duration_s, self._watchdog_fired
+            )
         self._enter(AttackPhase.SCANNING, "starting active scan")
-        self.firmware.active_scan(
-            self.channels, dwell_s=self.scan_dwell_s, on_complete=self._scanned
-        )
+        self._start_scan()
 
     @property
     def scheduler(self):
@@ -109,21 +156,74 @@ class TrackerAttack:
 
     def _enter(self, phase: AttackPhase, message: str) -> None:
         self.phase = phase
+        self._stage_started_at = self.scheduler.now
+        self.stage_attempts.setdefault(phase, 0)
         self._log(message)
 
-    def _fail(self, message: str) -> None:
-        self._enter(AttackPhase.FAILED, message)
+    def _stage_backoff(self, attempt: int) -> float:
+        """Exponential backoff before re-attempting a stage (doubles)."""
+        return self.retry_backoff_s * (2 ** max(attempt - 1, 0))
+
+    def _finish(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
         if self._on_complete is not None:
             self._on_complete(self)
 
+    def _fail(self, message: str, suggestion: str = "") -> None:
+        stage = self.phase
+        self.diagnosis = StageDiagnosis(
+            stage=stage,
+            attempts=self.stage_attempts.get(stage, 0),
+            elapsed_s=self.scheduler.now - self._stage_started_at,
+            reason=message,
+            suggestion=suggestion,
+        )
+        self._enter(AttackPhase.FAILED, message)
+        self._finish()
+
+    def _watchdog_fired(self) -> None:
+        self._watchdog = None
+        if self.phase in (AttackPhase.DONE, AttackPhase.FAILED):
+            return
+        self.firmware.stop_sniffer()
+        self._fail(
+            f"watchdog expired after {self.max_attack_duration_s}s in stage "
+            f"{self.phase.value}",
+            suggestion="raise max_attack_duration_s or inspect the stalled stage",
+        )
+
     # -- stage 1 → 2 ---------------------------------------------------------
+    def _start_scan(self) -> None:
+        self.stage_attempts[AttackPhase.SCANNING] = (
+            self.stage_attempts.get(AttackPhase.SCANNING, 0) + 1
+        )
+        self.firmware.active_scan(
+            self.channels, dwell_s=self.scan_dwell_s, on_complete=self._scanned
+        )
+
     def _scanned(self, results: List[ScanResult]) -> None:
+        if self.phase is not AttackPhase.SCANNING:
+            return
         for result in results:
             if self.target_pan_id is None or result.pan_id == self.target_pan_id:
                 self.network = result
                 break
         if self.network is None:
-            self._fail(f"no network found on channels {self.channels}")
+            attempt = self.stage_attempts[AttackPhase.SCANNING]
+            if attempt <= self.max_stage_retries:
+                backoff = self._stage_backoff(attempt)
+                self._log(
+                    f"scan attempt {attempt} found nothing; retrying in "
+                    f"{backoff:.3f}s"
+                )
+                self.scheduler.schedule(backoff, self._start_scan)
+                return
+            self._fail(
+                f"no network found on channels {self.channels}",
+                suggestion="widen the channel list or increase scan_dwell_s",
+            )
             return
         self.coordinator_address = Address(
             pan_id=self.network.pan_id, address=self.network.coordinator_address
@@ -133,6 +233,7 @@ class TrackerAttack:
             f"found PAN 0x{self.network.pan_id:04x} on channel "
             f"{self.network.channel} (coordinator {self.coordinator_address})",
         )
+        self.stage_attempts[AttackPhase.EAVESDROPPING] = 1
         self.firmware.start_sniffer(self.network.channel, self._sniffed)
         self.scheduler.schedule(self.eavesdrop_timeout_s, self._eavesdrop_timeout)
 
@@ -151,8 +252,25 @@ class TrackerAttack:
         self._inject_at_command()
 
     def _eavesdrop_timeout(self) -> None:
-        if self.phase is AttackPhase.EAVESDROPPING and self.sensor_address is None:
-            self._fail("eavesdropping timed out without seeing sensor traffic")
+        if self.phase is not AttackPhase.EAVESDROPPING or self.sensor_address:
+            return
+        attempt = self.stage_attempts[AttackPhase.EAVESDROPPING]
+        if attempt <= self.max_stage_retries:
+            # The sniffer keeps running; double the listening window — the
+            # sensor may simply report at a long period.
+            self.stage_attempts[AttackPhase.EAVESDROPPING] = attempt + 1
+            window = self.eavesdrop_timeout_s * (2**attempt)
+            self._log(
+                f"eavesdrop window {attempt} elapsed without sensor traffic; "
+                f"extending by {window:.3f}s"
+            )
+            self.scheduler.schedule(window, self._eavesdrop_timeout)
+            return
+        self.firmware.stop_sniffer()
+        self._fail(
+            "eavesdropping timed out without seeing sensor traffic",
+            suggestion="increase eavesdrop_timeout_s or max_stage_retries",
+        )
 
     # -- stage 3 → 4 ---------------------------------------------------------
     def _inject_at_command(self) -> None:
@@ -162,6 +280,7 @@ class TrackerAttack:
             f"injecting remote AT CH={self.dos_channel} spoofed from "
             f"{self.coordinator_address}",
         )
+        self.stage_attempts[AttackPhase.AT_INJECTION] = 1
         self.firmware.stop_sniffer()
         # The sniffed report is typically followed by the coordinator's
         # acknowledgement; transmitting repeats with a small delay keeps the
@@ -200,6 +319,9 @@ class TrackerAttack:
         if self.phase is not AttackPhase.SPOOFING:
             return
         assert self.network and self.sensor_address and self.coordinator_address
+        self.stage_attempts[AttackPhase.SPOOFING] = (
+            self.stage_attempts.get(AttackPhase.SPOOFING, 0) + 1
+        )
         self._fake_counter += 1
         reading = SensorReading(counter=self._fake_counter, value=self.fake_value)
         frame = build_data(
@@ -209,12 +331,42 @@ class TrackerAttack:
             sequence_number=self._fake_counter & 0xFF,
             ack_request=True,
         )
+        if self.reliable_spoofing:
+            self.firmware.send_frame_reliable(
+                frame,
+                self.network.channel,
+                max_attempts=self.spoof_max_attempts,
+                on_result=self._fake_report_result,
+            )
+            return
         self.firmware.send_frame(frame, self.network.channel)
+        self._after_fake_report()
+
+    def _fake_report_result(self, result: ReliableSendResult) -> None:
+        if self.phase is not AttackPhase.SPOOFING:
+            return
+        if result.delivered:
+            self.fake_reports_delivered += 1
+            self._log(
+                f"spoofed reading acknowledged after {result.attempts} attempt(s)"
+            )
+        else:
+            self._log(
+                f"spoofed reading unacknowledged after {result.attempts} attempt(s)"
+            )
+        self._after_fake_report()
+
+    def _after_fake_report(self) -> None:
         self.fake_reports_sent += 1
         self._log(f"spoofed reading #{self.fake_reports_sent} value={self.fake_value}")
         if self.fake_reports_sent >= self.fake_report_count:
+            if self.reliable_spoofing and self.fake_reports_delivered == 0:
+                self._fail(
+                    "no spoofed reading was acknowledged by the coordinator",
+                    suggestion="check dos_channel took effect and coordinator range",
+                )
+                return
             self._enter(AttackPhase.DONE, "attack complete")
-            if self._on_complete is not None:
-                self._on_complete(self)
+            self._finish()
             return
         self.scheduler.schedule(self.fake_report_interval_s, self._send_fake_report)

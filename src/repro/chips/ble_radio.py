@@ -55,7 +55,7 @@ class BleRadioPeripheral:
     ):
         self.capabilities = capabilities
         self.name = name or capabilities.name
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else medium.derive_rng(self.name)
         self.transceiver = Transceiver(
             medium,
             name=self.name,

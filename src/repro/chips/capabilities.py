@@ -11,11 +11,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import RadioError
+
 __all__ = ["ChipCapabilities", "CapabilityError"]
 
 
-class CapabilityError(RuntimeError):
-    """The chip (or its exposed API) cannot perform the requested operation."""
+class CapabilityError(RadioError):
+    """The chip (or its exposed API) cannot perform the requested operation.
+
+    This is the dedicated exception :class:`~repro.core.radio_api.LowLevelRadio`
+    implementations raise when a register-level operation is unavailable;
+    the WazaBee primitives catch exactly this (and nothing broader) when
+    probing optional features such as whitening control.
+    """
 
 
 @dataclass(frozen=True)

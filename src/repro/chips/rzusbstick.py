@@ -73,7 +73,7 @@ class Dot15d4Radio:
         max_chip_distance: int = 12,
     ):
         self.name = name
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else medium.derive_rng(name)
         self.transceiver = Transceiver(
             medium,
             name=name,

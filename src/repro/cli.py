@@ -47,6 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="Zigbee channels (default: 11-26)",
     )
     t3.add_argument("--seed", type=int, default=1)
+    t3.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PROFILE",
+        help="run under a named fault-injection profile "
+        "(clean, dropout, drifting, flaky-rx, harsh, jammer)",
+    )
 
     sa = sub.add_parser("scenario-a", help="smartphone injection (Figure 4)")
     sa.add_argument("--duration", type=float, default=60.0, help="simulated seconds")
@@ -97,13 +104,26 @@ def _cmd_table3(args) -> int:
     from repro.dot15d4.channels import ZIGBEE_CHANNELS
     from repro.experiments.table3 import format_table3, run_table3
 
+    if args.chaos is not None:
+        from repro.faults import profile_names
+
+        if args.chaos not in profile_names():
+            print(
+                f"unknown chaos profile {args.chaos!r}; choose from "
+                f"{', '.join(profile_names())}",
+                file=sys.stderr,
+            )
+            return 2
     channels = tuple(args.channels) if args.channels else ZIGBEE_CHANNELS
     result = run_table3(
         frames=args.frames,
         channels=channels,
         chips=tuple(args.chips),
         seed=args.seed,
+        fault_profile=args.chaos,
     )
+    if args.chaos is not None:
+        print(f"chaos profile: {args.chaos}")
     print(format_table3(result))
     return 0
 

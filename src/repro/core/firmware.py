@@ -15,10 +15,10 @@ from typing import Callable, List, Optional, Sequence
 from repro.core.radio_api import LowLevelRadio
 from repro.core.rx import DecodedFrame, WazaBeeReceiver
 from repro.core.tx import WazaBeeTransmitter
-from repro.dot15d4.frames import MacFrame, build_beacon_request
+from repro.dot15d4.frames import FrameType, MacFrame, build_beacon_request
 from repro.radio.scheduler import Scheduler
 
-__all__ = ["ScanResult", "WazaBeeFirmware"]
+__all__ = ["ScanResult", "ReliableSendResult", "WazaBeeFirmware"]
 
 
 @dataclass
@@ -29,6 +29,15 @@ class ScanResult:
     pan_id: int
     coordinator_address: int
     address_mode: int
+
+
+@dataclass
+class ReliableSendResult:
+    """Outcome of a repeat-until-acknowledged injection."""
+
+    delivered: bool
+    attempts: int
+    sequence_number: int
 
 
 SnifferHandler = Callable[[MacFrame, DecodedFrame], None]
@@ -56,6 +65,69 @@ class WazaBeeFirmware:
     def send_psdu(self, psdu: bytes, channel: int) -> None:
         self.transmitter.configure(channel)
         self.transmitter.transmit_psdu(psdu)
+
+    def send_frame_reliable(
+        self,
+        frame: MacFrame,
+        channel: int,
+        max_attempts: int = 4,
+        ack_wait_s: float = 3e-3,
+        on_result: Optional[Callable[[ReliableSendResult], None]] = None,
+    ) -> None:
+        """Repeat-until-acknowledged injection.
+
+        Transmits *frame* and listens for a matching 802.15.4 ACK; on
+        timeout the frame is retransmitted, up to *max_attempts* total
+        attempts.  *on_result* fires exactly once with the outcome.  The
+        firmware's single receiver is borrowed for the ACK window, so this
+        must not be interleaved with :meth:`start_sniffer`.
+        """
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        seq = frame.sequence_number
+        state = {"attempts": 0, "done": False, "timeout": None}
+
+        def finish(delivered: bool) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            if state["timeout"] is not None:
+                state["timeout"].cancel()
+            self.receiver.stop()
+            if on_result is not None:
+                on_result(
+                    ReliableSendResult(
+                        delivered=delivered,
+                        attempts=state["attempts"],
+                        sequence_number=seq,
+                    )
+                )
+
+        def on_ack(decoded: DecodedFrame) -> None:
+            if not decoded.fcs_ok:
+                return
+            try:
+                acked = MacFrame.parse(decoded.psdu)
+            except ValueError:
+                return
+            if (
+                acked.frame_type is FrameType.ACK
+                and acked.sequence_number == seq
+            ):
+                finish(True)
+
+        def attempt() -> None:
+            if state["done"]:
+                return
+            if state["attempts"] >= max_attempts:
+                finish(False)
+                return
+            state["attempts"] += 1
+            self.receiver.start(channel, on_ack)
+            self.send_frame(frame, channel)
+            state["timeout"] = self.scheduler.schedule(ack_wait_s, attempt)
+
+        attempt()
 
     # -- sniffing -------------------------------------------------------------
     def start_sniffer(self, channel: int, handler: SnifferHandler) -> None:

@@ -23,11 +23,13 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.ble.whitening import whiten
+from repro.chips.capabilities import CapabilityError
 from repro.core.encoding import MSK_STRIDE, wazabee_access_address
 from repro.core.radio_api import LowLevelRadio
 from repro.core.tables import CorrespondenceTable, default_table
 from repro.dot15d4.channels import channel_frequency_hz
 from repro.dot15d4.fcs import verify_fcs
+from repro.errors import DecodeError
 from repro.phy.ieee802154 import MAX_PSDU_SIZE, Ppdu
 
 __all__ = ["DecodedFrame", "decode_payload_bits", "WazaBeeReceiver"]
@@ -54,21 +56,41 @@ class DecodedFrame:
             return 0.0
         return float(np.mean(self.distances))
 
+    @property
+    def confidences(self) -> List[float]:
+        """Per-symbol decode confidence in [0, 1].
+
+        Each DSSS block is 31 bits; a perfect match (distance 0) scores
+        1.0, the worst credible match (distance 15, half the minimum
+        inter-sequence distance away from everything) scores ~0.5.  The
+        FCS-failed salvage path uses these to point at the corrupted
+        region of a frame.
+        """
+        return [1.0 - d / 31.0 for d in self.distances]
+
 
 def decode_payload_bits(
     bits: np.ndarray,
     table: Optional[CorrespondenceTable] = None,
     sfd_search_limit: int = 12,
+    max_mean_distance: Optional[float] = None,
+    strict: bool = False,
 ) -> Optional[DecodedFrame]:
     """Decode a raw post-Access-Address bit capture into an 802.15.4 frame.
 
-    Returns ``None`` when no SFD is found or the frame is truncated.
+    Returns ``None`` when no SFD is found, the frame is truncated, or —
+    with *max_mean_distance* set — the mean Hamming distance of the
+    matched blocks exceeds the confidence threshold (the capture was
+    essentially noise that happened to correlate).  With ``strict=True``
+    those outcomes raise :class:`~repro.errors.DecodeError` carrying the
+    failure class (``no-sfd`` / ``truncated`` / ``low-confidence``)
+    instead.
     """
     table = table or default_table()
     arr = np.asarray(bits, dtype=np.uint8)
     num_strides = arr.size // MSK_STRIDE
     if num_strides < 3:
-        return None
+        return _decode_failure("truncated", strict)
     symbols: List[int] = []
     distances: List[int] = []
     for k in range(num_strides):
@@ -79,33 +101,70 @@ def decode_payload_bits(
         distances.append(distance)
     sfd_index = Ppdu.find_sfd(symbols, search_limit=sfd_search_limit)
     if sfd_index is None:
-        return None
+        return _decode_failure("no-sfd", strict)
     ppdu = Ppdu.parse_symbols(symbols[sfd_index:])
     if ppdu is None:
-        return None
+        return _decode_failure("truncated", strict)
     used = sfd_index + 4 + 2 * len(ppdu.psdu)
-    return DecodedFrame(
+    frame = DecodedFrame(
         psdu=ppdu.psdu,
         fcs_ok=verify_fcs(ppdu.psdu),
         sfd_index=sfd_index,
         symbols=symbols[:used],
         distances=distances[:used],
     )
+    if (
+        max_mean_distance is not None
+        and frame.mean_distance > max_mean_distance
+    ):
+        return _decode_failure(
+            "low-confidence", strict, mean_distance=frame.mean_distance
+        )
+    return frame
+
+
+def _decode_failure(
+    reason: str, strict: bool, mean_distance: float = 0.0
+) -> Optional[DecodedFrame]:
+    if strict:
+        raise DecodeError(reason, mean_distance=mean_distance)
+    return None
 
 
 FrameHandler = Callable[[DecodedFrame], None]
 
 
 class WazaBeeReceiver:
-    """Reception primitive bound to a low-level radio."""
+    """Reception primitive bound to a low-level radio.
 
-    def __init__(self, radio: LowLevelRadio, table: Optional[CorrespondenceTable] = None):
+    *max_mean_distance* is an optional decode-confidence threshold: decoded
+    frames whose mean block Hamming distance exceeds it are discarded as
+    noise (counted in :attr:`low_confidence_drops`) instead of being handed
+    to the application.  A *corrupt_handler* receives FCS-failed frames —
+    the salvage path: such a frame still carries per-symbol confidences, so
+    callers can localise the damage or fuse repeated corrupted receptions.
+    """
+
+    def __init__(
+        self,
+        radio: LowLevelRadio,
+        table: Optional[CorrespondenceTable] = None,
+        max_mean_distance: Optional[float] = None,
+    ):
         self.radio = radio
         self.table = table or default_table()
+        self.max_mean_distance = max_mean_distance
+        self.low_confidence_drops = 0
         self._handler: Optional[FrameHandler] = None
+        self._corrupt_handler: Optional[FrameHandler] = None
         self._channel: Optional[int] = None
 
-    def start(self, zigbee_channel: int, handler: FrameHandler) -> None:
+    def start(
+        self,
+        zigbee_channel: int,
+        handler: FrameHandler,
+        corrupt_handler: Optional[FrameHandler] = None,
+    ) -> None:
         """Configure the radio per §IV-D and begin receiving."""
         self.radio.set_data_rate_2m()
         self.radio.set_frequency(channel_frequency_hz(zigbee_channel))
@@ -113,15 +172,18 @@ class WazaBeeReceiver:
         self.radio.set_crc_enabled(False)
         try:
             self.radio.set_whitening(False)
-        except Exception:
+        except CapabilityError:
+            # Chip forces whitening on; _on_bits undoes it per capture.
             pass
         self._handler = handler
+        self._corrupt_handler = corrupt_handler
         self._channel = zigbee_channel
         self.radio.arm_receiver(MAX_CAPTURE_BITS, self._on_bits)
 
     def stop(self) -> None:
         self.radio.disarm_receiver()
         self._handler = None
+        self._corrupt_handler = None
 
     def _on_bits(self, bits: np.ndarray) -> None:
         if self._handler is None:
@@ -130,8 +192,17 @@ class WazaBeeReceiver:
             # The radio de-whitened what was never whitened; undo it.
             bits = whiten(bits, self.radio.whitening_channel)
         frame = decode_payload_bits(bits, table=self.table)
-        if frame is not None:
-            self._handler(frame)
+        if frame is None:
+            return
+        if (
+            self.max_mean_distance is not None
+            and frame.mean_distance > self.max_mean_distance
+        ):
+            self.low_confidence_drops += 1
+            return
+        if not frame.fcs_ok and self._corrupt_handler is not None:
+            self._corrupt_handler(frame)
+        self._handler(frame)
 
     @property
     def channel(self) -> Optional[int]:

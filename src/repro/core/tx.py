@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from repro.ble.whitening import whiten
+from repro.chips.capabilities import CapabilityError
 from repro.core.encoding import frame_to_msk_bits, wazabee_access_address
 from repro.core.radio_api import LowLevelRadio
 from repro.dot15d4.channels import channel_frequency_hz
@@ -48,7 +49,7 @@ class WazaBeeTransmitter:
         self.radio.set_crc_enabled(False)
         try:
             self.radio.set_whitening(False)
-        except Exception:
+        except CapabilityError:
             # Chip forces whitening on; leave it enabled and compensate in
             # transmit() via pre-inversion.
             pass

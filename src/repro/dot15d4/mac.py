@@ -7,14 +7,25 @@ Scenario B's attack steps interact with:
 
 * the coordinator answers Beacon Requests → active scanning works;
 * data frames are acknowledged → the spoofed sensor looks alive;
-* address filtering is destination-only → spoofed *source* addresses pass,
+* address filtering is destination-only — spoofed *source* addresses pass,
   which is the whole point of the remote-AT-command injection.
+
+Link reliability (unslotted CSMA-CA + ACK-wait retransmission) follows
+§7.5.1 of the standard: outgoing data frames wait a random backoff of
+``0..2^BE-1`` unit periods, perform a clear-channel assessment against the
+medium's in-flight transmissions, and — when an acknowledgement was
+requested — are retransmitted up to ``macMaxFrameRetries`` times if no ACK
+arrives within ``macAckWaitDuration``.  :class:`MacConfig` exposes the PIB
+attributes; ``MacConfig.legacy()`` restores the historical fire-and-forget
+behaviour (no CSMA, no retries) for experiments that need raw timing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.dot15d4.frames import (
     Address,
@@ -29,14 +40,42 @@ from repro.dot15d4.frames import (
 )
 from repro.dot15d4.security import SecurityContext, SecurityError
 
-__all__ = ["MacService", "MacStats"]
+__all__ = ["MacService", "MacStats", "MacConfig"]
 
 #: Acknowledgement turnaround (aTurnaroundTime, 12 symbol periods).
 ACK_TURNAROUND_S = 192e-6
 #: Delay before answering a Beacon Request (models CSMA backoff).
 BEACON_RESPONSE_DELAY_S = 2e-3
+#: One O-QPSK symbol period at 62.5 ksymbol/s.
+SYMBOL_PERIOD_S = 16e-6
 
 FrameHandler = Callable[[MacFrame], None]
+SendResultHandler = Callable[[int, bool], None]
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """The MAC PIB attributes governing link reliability.
+
+    Attributes mirror the standard: ``min_be``/``max_be`` bound the backoff
+    exponent, ``max_csma_backoffs`` is macMaxCSMABackoffs,
+    ``max_frame_retries`` is macMaxFrameRetries and ``ack_wait_duration_s``
+    is macAckWaitDuration (54 symbol periods for the 2.4 GHz PHY).
+    ``unit_backoff_s`` is aUnitBackoffPeriod (20 symbols).
+    """
+
+    csma_enabled: bool = True
+    min_be: int = 3
+    max_be: int = 5
+    max_csma_backoffs: int = 4
+    unit_backoff_s: float = 20 * SYMBOL_PERIOD_S
+    max_frame_retries: int = 3
+    ack_wait_duration_s: float = 54 * SYMBOL_PERIOD_S
+
+    @staticmethod
+    def legacy() -> "MacConfig":
+        """Pre-reliability behaviour: immediate single-shot transmission."""
+        return MacConfig(csma_enabled=False, max_frame_retries=0)
 
 
 @dataclass
@@ -51,6 +90,28 @@ class MacStats:
     beacons_sent: int = 0
     sent_frames: int = 0
     security_failures: int = 0
+    #: Retransmissions after a missed acknowledgement.
+    retries: int = 0
+    #: CSMA backoff slots where CCA found the channel busy.
+    csma_backoffs: int = 0
+    #: Transmissions abandoned because CCA never found the channel clear.
+    channel_access_failures: int = 0
+    #: ACK-wait windows that expired without the matching ACK.
+    ack_timeouts: int = 0
+    #: Frames dropped after exhausting retries or channel access attempts.
+    drops: int = 0
+
+
+@dataclass
+class _PendingTx:
+    """One outgoing frame moving through CSMA-CA / ACK-retry."""
+
+    frame: MacFrame
+    ack_request: bool
+    on_result: Optional[SendResultHandler] = None
+    retries: int = 0
+    nb: int = 0
+    be: int = 0
 
 
 class MacService:
@@ -64,6 +125,8 @@ class MacService:
         beacon_payload: bytes = b"",
         promiscuous: bool = False,
         security: Optional[SecurityContext] = None,
+        config: Optional[MacConfig] = None,
+        rng: Optional[np.random.Generator] = None,
     ):
         self.radio = radio
         self.address = address
@@ -71,6 +134,12 @@ class MacService:
         self.beacon_payload = beacon_payload
         self.promiscuous = promiscuous
         self.security = security
+        self.config = config if config is not None else MacConfig()
+        # Backoff draws come from a per-node deterministic stream (keyed by
+        # address) so simultaneous senders de-synchronise reproducibly.
+        self.rng = rng if rng is not None else np.random.default_rng(
+            (address.pan_id << 20) ^ address.address ^ 0xC5A3
+        )
         self.stats = MacStats()
         self._sequence = 0
         self._seen: Dict[Tuple[int, int], int] = {}
@@ -79,6 +148,10 @@ class MacService:
         self._beacon_handler: Optional[FrameHandler] = None
         self._ack_handler: Optional[Callable[[int], None]] = None
         self._sniffer: Optional[FrameHandler] = None
+        self._tx_queue: List[_PendingTx] = []
+        self._tx_busy = False
+        self._ack_wait_handle = None
+        self._awaiting_seq: Optional[int] = None
 
     # -- wiring ------------------------------------------------------------
     def start(self) -> None:
@@ -107,12 +180,30 @@ class MacService:
     def _scheduler(self):
         return self.radio.transceiver.medium.scheduler
 
+    @property
+    def _medium(self):
+        return self.radio.transceiver.medium
+
     # -- sending ------------------------------------------------------------
     def next_sequence(self) -> int:
         self._sequence = (self._sequence + 1) & 0xFF
         return self._sequence
 
-    def send_data(self, destination: Address, payload: bytes, ack: bool = True) -> int:
+    def send_data(
+        self,
+        destination: Address,
+        payload: bytes,
+        ack: bool = True,
+        on_result: Optional[SendResultHandler] = None,
+    ) -> int:
+        """Queue a data frame for CSMA-CA transmission.
+
+        Returns the frame's sequence number immediately; the transmission
+        itself proceeds through backoff / CCA / ACK-wait on the scheduler.
+        *on_result* (if given) fires with ``(sequence, delivered)`` once the
+        frame is acknowledged, confirmed sent (no ACK requested), or
+        dropped.
+        """
         frame = build_data(
             source=self.address,
             destination=destination,
@@ -122,13 +213,103 @@ class MacService:
         )
         if self.security is not None:
             frame = self.security.protect(frame)
-        self.radio.transmit_frame(frame)
-        self.stats.sent_frames += 1
+        self._enqueue(_PendingTx(frame=frame, ack_request=ack, on_result=on_result))
         return frame.sequence_number
 
     def send_frame(self, frame: MacFrame) -> None:
+        """Transmit a pre-built frame immediately (no CSMA, no retries).
+
+        Acknowledgement frames, beacons and injection paths use this; data
+        traffic should go through :meth:`send_data`.
+        """
         self.radio.transmit_frame(frame)
         self.stats.sent_frames += 1
+
+    # -- CSMA-CA / retransmission -------------------------------------------
+    def _enqueue(self, pending: _PendingTx) -> None:
+        self._tx_queue.append(pending)
+        self._kick_queue()
+
+    def _kick_queue(self) -> None:
+        if self._tx_busy or not self._tx_queue:
+            return
+        self._tx_busy = True
+        pending = self._tx_queue[0]
+        pending.nb = 0
+        pending.be = self.config.min_be
+        self._csma_attempt(pending)
+
+    def _csma_attempt(self, pending: _PendingTx) -> None:
+        if not self.config.csma_enabled:
+            self._transmit_pending(pending)
+            return
+        slots = int(self.rng.integers(0, 2 ** pending.be))
+        delay = slots * self.config.unit_backoff_s
+        self._scheduler.schedule(delay, lambda: self._cca(pending))
+
+    def _cca(self, pending: _PendingTx) -> None:
+        busy = (
+            self.radio.transceiver.is_transmitting
+            or self._medium.channel_busy(self.radio.transceiver)
+        )
+        if not busy:
+            self._transmit_pending(pending)
+            return
+        self.stats.csma_backoffs += 1
+        pending.nb += 1
+        pending.be = min(pending.be + 1, self.config.max_be)
+        if pending.nb > self.config.max_csma_backoffs:
+            self.stats.channel_access_failures += 1
+            self.stats.drops += 1
+            self._finish_pending(pending, delivered=False)
+            return
+        self._csma_attempt(pending)
+
+    def _transmit_pending(self, pending: _PendingTx) -> None:
+        tx = self.radio.transmit_frame(pending.frame)
+        self.stats.sent_frames += 1
+        airtime = max(tx.end_time - self._scheduler.now, 0.0)
+        if not pending.ack_request:
+            # Confirm once the frame has left the antenna (half duplex).
+            self._scheduler.schedule(
+                airtime, lambda: self._finish_pending(pending, delivered=True)
+            )
+            return
+        self._awaiting_seq = pending.frame.sequence_number
+        self._ack_wait_handle = self._scheduler.schedule(
+            airtime + self.config.ack_wait_duration_s,
+            lambda: self._ack_timeout(pending),
+        )
+
+    def _ack_timeout(self, pending: _PendingTx) -> None:
+        self._ack_wait_handle = None
+        self._awaiting_seq = None
+        self.stats.ack_timeouts += 1
+        if pending.retries < self.config.max_frame_retries:
+            pending.retries += 1
+            self.stats.retries += 1
+            pending.nb = 0
+            pending.be = self.config.min_be
+            self._csma_attempt(pending)
+            return
+        self.stats.drops += 1
+        self._finish_pending(pending, delivered=False)
+
+    def _on_matching_ack(self) -> None:
+        if self._ack_wait_handle is not None:
+            self._ack_wait_handle.cancel()
+            self._ack_wait_handle = None
+        self._awaiting_seq = None
+        if self._tx_queue:
+            self._finish_pending(self._tx_queue[0], delivered=True)
+
+    def _finish_pending(self, pending: _PendingTx, delivered: bool) -> None:
+        if self._tx_queue and self._tx_queue[0] is pending:
+            self._tx_queue.pop(0)
+        self._tx_busy = False
+        if pending.on_result is not None:
+            pending.on_result(pending.frame.sequence_number, delivered)
+        self._kick_queue()
 
     # -- receiving -----------------------------------------------------------
     def _on_psdu(self, received) -> None:
@@ -144,14 +325,19 @@ class MacService:
             self._sniffer(frame)
         if frame.frame_type is FrameType.ACK:
             self.stats.acks_received += 1
+            if (
+                self._awaiting_seq is not None
+                and frame.sequence_number == self._awaiting_seq
+            ):
+                self._on_matching_ack()
             if self._ack_handler is not None:
                 self._ack_handler(frame.sequence_number)
             return
         if not self.promiscuous and not self._accepts(frame):
             return
-        if self._is_duplicate(frame):
-            self.stats.duplicates += 1
-            return
+        # Acknowledge before duplicate rejection: a retransmission whose
+        # original ACK was lost must be re-acknowledged or the sender would
+        # retry forever (§6.7.4.1 of the standard does the same).
         if (
             frame.ack_request
             and frame.destination is not None
@@ -159,6 +345,9 @@ class MacService:
             and frame.destination.address == self.address.address
         ):
             self._schedule_ack(frame.sequence_number)
+        if self._is_duplicate(frame):
+            self.stats.duplicates += 1
+            return
         if frame.frame_type is FrameType.DATA:
             if not self._apply_security(frame):
                 return

@@ -1,0 +1,47 @@
+"""Exception taxonomy for the radio stack.
+
+The simulator distinguishes three failure families:
+
+``RadioError``
+    Root of everything the radio stack raises on purpose.  Subclassing
+    :class:`RuntimeError` keeps historical ``except RuntimeError`` callers
+    working.
+``DecodeError``
+    A capture was received but could not be turned into a frame (no SFD,
+    truncated PHR/PSDU, or decode confidence below threshold).  Raised only
+    by the *strict* decode paths; the event-driven paths keep returning
+    ``None`` so a noisy capture never tears down a receive loop.
+``repro.chips.capabilities.CapabilityError``
+    The chip (or its exposed API) refuses an operation — e.g. whitening
+    cannot be disabled on the nRF51822's ShockBurst mode.  It subclasses
+    :class:`RadioError` so capability gaps can be handled uniformly, and it
+    is the *only* exception the WazaBee primitives swallow when probing
+    optional radio features.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RadioError", "DecodeError"]
+
+
+class RadioError(RuntimeError):
+    """Base class for deliberate radio-stack failures."""
+
+
+class DecodeError(RadioError):
+    """A capture could not be decoded into a frame.
+
+    Parameters
+    ----------
+    reason:
+        Machine-readable failure class: ``"no-sfd"``, ``"truncated"`` or
+        ``"low-confidence"``.
+    mean_distance:
+        Mean Hamming distance of the matched blocks, when decoding got far
+        enough to measure it.
+    """
+
+    def __init__(self, reason: str, mean_distance: float = 0.0):
+        super().__init__(f"decode failed: {reason}")
+        self.reason = reason
+        self.mean_distance = mean_distance

@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.faults import FaultInjector, FaultPlan
 from repro.radio.interference import WifiInterferer
 from repro.radio.medium import PropagationModel, RfMedium
 from repro.radio.scheduler import Scheduler
@@ -62,9 +63,15 @@ class Testbed:
 
 
 def build_testbed(
-    profile: Optional[TestbedProfile] = None, seed: int = 0
+    profile: Optional[TestbedProfile] = None,
+    seed: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Testbed:
-    """Stand up the paper's bench environment."""
+    """Stand up the paper's bench environment.
+
+    *fault_plan* optionally degrades the bench with scripted impairments
+    (see :mod:`repro.faults`) — the knob behind the ``--chaos`` CLI flag.
+    """
     profile = profile or TestbedProfile()
     scheduler = Scheduler()
     rng = np.random.default_rng(seed)
@@ -86,5 +93,8 @@ def build_testbed(
         ),
         interferers=interferers,
         rng=np.random.default_rng(seed + 1),
+        seed=seed + 1,
     )
+    if fault_plan is not None and not fault_plan.is_clean():
+        medium.install_fault_injector(FaultInjector(fault_plan))
     return Testbed(scheduler=scheduler, medium=medium, profile=profile, rng=rng)

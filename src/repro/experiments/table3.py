@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from zlib import crc32
 
 import numpy as np
 
@@ -26,6 +27,7 @@ from repro.core.firmware import WazaBeeFirmware
 from repro.dot15d4.channels import ZIGBEE_CHANNELS
 from repro.dot15d4.frames import Address, build_data
 from repro.experiments.environment import Testbed, TestbedProfile, build_testbed
+from repro.faults import named_profile
 
 __all__ = [
     "CHIP_FACTORIES",
@@ -93,13 +95,29 @@ def run_table3_cell(
     frames: int = 100,
     profile: Optional[TestbedProfile] = None,
     seed: int = 0,
+    fault_profile: Optional[str] = None,
 ) -> ChannelResult:
-    """Run one cell: *frames* transmissions of one primitive on one channel."""
+    """Run one cell: *frames* transmissions of one primitive on one channel.
+
+    *fault_profile* names a chaos profile from :mod:`repro.faults` — the
+    degraded-channel variant of Table III, targeted at the cell's channel.
+    """
     if chip_name not in CHIP_FACTORIES:
         raise ValueError(f"unknown chip {chip_name!r}")
     if primitive not in ("rx", "tx"):
         raise ValueError("primitive must be 'rx' or 'tx'")
-    testbed = build_testbed(profile, seed=seed ^ hash((chip_name, primitive, channel)) & 0x7FFFFFFF)
+    fault_plan = (
+        named_profile(fault_profile, channel=channel, seed=seed)
+        if fault_profile is not None
+        else None
+    )
+    testbed = build_testbed(
+        profile,
+        # crc32, not hash(): str hashes are randomised per process, which
+        # would make cells irreproducible across runs with the same seed.
+        seed=seed ^ crc32(f"{chip_name}/{primitive}/{channel}".encode()) & 0x7FFFFFFF,
+        fault_plan=fault_plan,
+    )
     chip = CHIP_FACTORIES[chip_name](
         testbed.medium,
         position=testbed.attacker_position,
@@ -185,6 +203,7 @@ def run_table3(
     primitives: Sequence[str] = ("rx", "tx"),
     profile: Optional[TestbedProfile] = None,
     seed: int = 0,
+    fault_profile: Optional[str] = None,
 ) -> Table3Result:
     """Regenerate Table III (or a subset of it)."""
     result = Table3Result(frames_per_cell=frames)
@@ -193,7 +212,13 @@ def run_table3(
             rows: Dict[int, ChannelResult] = {}
             for channel in channels:
                 rows[channel] = run_table3_cell(
-                    chip, primitive, channel, frames=frames, profile=profile, seed=seed
+                    chip,
+                    primitive,
+                    channel,
+                    frames=frames,
+                    profile=profile,
+                    seed=seed,
+                    fault_profile=fault_profile,
                 )
             result.cells[(chip, primitive)] = rows
     return result

@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the simulated radio stack.
+
+The paper's evaluation (Table III, §V) is an exercise in reliability under
+imperfect radio conditions.  This package lets any experiment or test run
+under a *named chaos profile*: a seedable :class:`FaultPlan` describes
+scheduled impairments — capture truncation, sample drops, CFO steps and
+drift, delivery duplication, radio-dropout windows and scripted collision
+bursts — and a :class:`FaultInjector` applies them at the
+:class:`~repro.radio.medium.RfMedium` / transceiver boundary.
+
+Identical seeds and identical plans produce bit-identical runs.
+"""
+
+from repro.faults.plan import (
+    CaptureTruncation,
+    CfoStep,
+    CollisionBurst,
+    DeliveryDuplication,
+    DropoutWindow,
+    FaultPlan,
+    SampleDrops,
+    named_profile,
+    profile_names,
+)
+from repro.faults.injector import FaultInjector, FaultStats
+
+__all__ = [
+    "CaptureTruncation",
+    "CfoStep",
+    "CollisionBurst",
+    "DeliveryDuplication",
+    "DropoutWindow",
+    "FaultPlan",
+    "SampleDrops",
+    "named_profile",
+    "profile_names",
+    "FaultInjector",
+    "FaultStats",
+]

@@ -1,0 +1,184 @@
+"""The fault injector: applies a :class:`~repro.faults.plan.FaultPlan`.
+
+The injector sits at the two seams every impairment must pass through:
+
+* **delivery scheduling** (:meth:`RfMedium.transmit`) — dropout windows
+  suppress a delivery, duplication schedules it twice;
+* **capture composition** (:meth:`RfMedium.compose_capture` → delivery) —
+  truncation, sample drops and CFO steps/drift distort the capture a
+  receiver actually demodulates.
+
+Scripted collision bursts are injected as *real* transmissions from a
+phantom jammer source, so they both corrupt overlapping captures and show
+up in :attr:`RfMedium.active_transmissions` — i.e. CSMA-CA clear-channel
+assessment sees them and can defer.
+
+All randomness comes from ``default_rng(plan.seed)`` and all counters
+advance in event order, so a run under a given (seed, plan) pair is
+bit-identical to any other run under the same pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from repro.dsp.impairments import apply_frequency_offset
+from repro.dsp.signal import IQSignal
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.medium import RfMedium, Transmission
+    from repro.radio.transceiver import Transceiver
+
+__all__ = ["FaultStats", "FaultInjector"]
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did, for experiment reports and tests."""
+
+    bursts_injected: int = 0
+    deliveries_dropped: int = 0
+    deliveries_duplicated: int = 0
+    captures_truncated: int = 0
+    captures_sample_dropped: int = 0
+    captures_cfo_shifted: int = 0
+
+    def total_faults(self) -> int:
+        return (
+            self.bursts_injected
+            + self.deliveries_dropped
+            + self.deliveries_duplicated
+            + self.captures_truncated
+            + self.captures_sample_dropped
+            + self.captures_cfo_shifted
+        )
+
+
+class _JammerSource:
+    """Phantom transmitter the scripted bursts are attributed to.
+
+    Quacks enough like a :class:`Transceiver` for the medium's transmit
+    path (``position`` for path loss, ``name`` for logs); never attached,
+    so it is never a delivery target itself.
+    """
+
+    is_listening = False
+
+    def __init__(self, name: str, position: Tuple[float, float]):
+        self.name = name
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_JammerSource({self.name!r})"
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to one :class:`RfMedium`."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        jammer_position: Tuple[float, float] = (0.0, 0.0),
+    ):
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.stats = FaultStats()
+        self.jammer_position = jammer_position
+        self.medium: Optional["RfMedium"] = None
+        self._delivery_counter = 0
+        self._capture_counter = 0
+
+    # -- installation --------------------------------------------------------
+    def install(self, medium: "RfMedium") -> None:
+        """Bind to *medium* and schedule every scripted burst."""
+        if self.medium is not None:
+            raise RuntimeError("fault injector is already installed")
+        self.medium = medium
+        for index, burst in enumerate(self.plan.bursts):
+            source = _JammerSource(
+                f"fault-burst-{index}", self.jammer_position
+            )
+            repeats = burst.count if burst.period_s is not None else 1
+            for k in range(repeats):
+                at = burst.start_s + (burst.period_s or 0.0) * k
+                if at < medium.scheduler.now:
+                    continue
+                medium.scheduler.schedule_at(
+                    at, lambda b=burst, s=source: self._emit_burst(b, s)
+                )
+
+    def _emit_burst(self, burst, source: _JammerSource) -> None:
+        assert self.medium is not None
+        num = max(1, int(round(burst.duration_s * self.medium.sample_rate)))
+        samples = (
+            self.rng.standard_normal(num) + 1j * self.rng.standard_normal(num)
+        ) / np.sqrt(2.0)
+        signal = IQSignal(samples, self.medium.sample_rate, burst.center_hz)
+        self.medium.transmit(source, signal, burst.power_dbm)
+        self.stats.bursts_injected += 1
+
+    # -- delivery fate -------------------------------------------------------
+    def delivery_count(self, radio: "Transceiver", tx: "Transmission") -> int:
+        """How many times *tx* should be delivered to *radio* (0, 1 or 2)."""
+        self._delivery_counter += 1
+        for window in self.plan.dropouts:
+            if window.covers(tx.end_time, radio.name):
+                self.stats.deliveries_dropped += 1
+                return 0
+        dup = self.plan.duplication
+        if dup is not None and self._delivery_counter % dup.every_nth == 0:
+            self.stats.deliveries_duplicated += 1
+            return 2
+        return 1
+
+    # -- capture distortion --------------------------------------------------
+    def transform_capture(
+        self, radio: "Transceiver", capture: IQSignal, start_time: float
+    ) -> IQSignal:
+        """Apply the plan's capture-side impairments to one RX capture."""
+        self._capture_counter += 1
+        samples = capture.samples
+        drops = self.plan.sample_drops
+        if drops is not None and self._capture_counter % drops.every_nth == 0:
+            samples = samples.copy()
+            for _ in range(drops.num_gaps):
+                if samples.size <= drops.gap_samples:
+                    samples[:] = 0.0
+                    break
+                start = int(
+                    self.rng.integers(0, samples.size - drops.gap_samples)
+                )
+                samples[start : start + drops.gap_samples] = 0.0
+            self.stats.captures_sample_dropped += 1
+        trunc = self.plan.truncation
+        if trunc is not None and self._capture_counter % trunc.every_nth == 0:
+            keep = int(samples.size * trunc.keep_fraction)
+            samples = samples.copy()
+            samples[keep:] = 0.0
+            self.stats.captures_truncated += 1
+        distorted = IQSignal(
+            samples, capture.sample_rate, capture.center_frequency
+        )
+        # Evaluate the oscillator state at delivery time: the capture window
+        # starts a margin *before* the transmission, which would otherwise
+        # miss a step scheduled at the very same instant.
+        when = (
+            self.medium.scheduler.now if self.medium is not None else start_time
+        )
+        offset = self._cfo_at(when)
+        if offset:
+            distorted = apply_frequency_offset(distorted, offset)
+            self.stats.captures_cfo_shifted += 1
+        return distorted
+
+    def _cfo_at(self, time: float) -> float:
+        offset = 0.0
+        for step in self.plan.cfo_steps:
+            if step.at_s <= time:
+                offset = step.offset_hz
+        offset += self.plan.cfo_drift_hz_per_s * time
+        return offset

@@ -14,6 +14,7 @@ Power convention: a linear sample power of 1.0 corresponds to 0 dBm, so
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
@@ -24,6 +25,7 @@ from repro.radio.interference import WifiInterferer
 from repro.radio.scheduler import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
     from repro.radio.transceiver import Transceiver
 
 __all__ = ["PropagationModel", "Transmission", "RfMedium"]
@@ -83,6 +85,13 @@ class RfMedium:
     #: simulated here.
     DELIVERY_MARGIN_HZ = 3e6
 
+    #: How far behind the current time a finished transmission is kept
+    #: before being pruned from the superposition list.  It must exceed the
+    #: longest capture window (frame airtime + capture margins) or a late
+    #: delivery would compose against a half-forgotten past; anything much
+    #: larger only wastes memory on a busy medium.
+    DEFAULT_PRUNE_HORIZON_S = 0.01
+
     def __init__(
         self,
         scheduler: Scheduler,
@@ -92,17 +101,44 @@ class RfMedium:
         interferers: Sequence[WifiInterferer] = (),
         rng: Optional[np.random.Generator] = None,
         capture_margin_s: float = 16e-6,
+        seed: int = 0,
+        prune_horizon_s: float = DEFAULT_PRUNE_HORIZON_S,
+        fault_injector: Optional["FaultInjector"] = None,
     ):
         self.scheduler = scheduler
         self.sample_rate = sample_rate
         self.noise_floor_dbm = noise_floor_dbm
         self.propagation = propagation or PropagationModel()
         self.interferers = list(interferers)
-        self.rng = rng or np.random.default_rng()
+        self.seed = seed
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.capture_margin_s = capture_margin_s
+        if prune_horizon_s <= 0.0:
+            raise ValueError("prune_horizon_s must be positive")
+        self.prune_horizon_s = prune_horizon_s
         self._radios: List["Transceiver"] = []
         self._transmissions: List[Transmission] = []
         self._next_id = 0
+        self.fault_injector: Optional["FaultInjector"] = None
+        if fault_injector is not None:
+            self.install_fault_injector(fault_injector)
+
+    def derive_rng(self, label: str) -> np.random.Generator:
+        """A deterministic per-device generator tied to the medium's seed.
+
+        Devices that are not handed an explicit ``rng`` draw theirs from
+        here, keyed by name, so a whole experiment is reproducible from the
+        single medium seed.
+        """
+        key = zlib.crc32(label.encode("utf-8"))
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed, spawn_key=(key,))
+        )
+
+    def install_fault_injector(self, injector: "FaultInjector") -> None:
+        """Attach a fault injector; scripted bursts are scheduled now."""
+        injector.install(self)
+        self.fault_injector = injector
 
     # -- attachment ---------------------------------------------------------
     def attach(self, radio: "Transceiver") -> None:
@@ -123,7 +159,7 @@ class RfMedium:
                 f"signal sample rate {signal.sample_rate} differs from medium "
                 f"rate {self.sample_rate}"
             )
-        self._prune(self.scheduler.now - 0.01)
+        self._prune(self.scheduler.now - self.prune_horizon_s)
         tx = Transmission(
             source=source,
             signal=signal,
@@ -140,7 +176,11 @@ class RfMedium:
                 continue
             if not self._in_band(radio, signal.center_frequency):
                 continue
-            self._schedule_delivery(radio, tx)
+            deliveries = 1
+            if self.fault_injector is not None:
+                deliveries = self.fault_injector.delivery_count(radio, tx)
+            for _ in range(deliveries):
+                self._schedule_delivery(radio, tx)
         return tx
 
     def _in_band(self, radio: "Transceiver", center_frequency: float) -> bool:
@@ -158,6 +198,10 @@ class RfMedium:
             start = tx.start_time - self.capture_margin_s
             end = tx.end_time + self.capture_margin_s
             capture = self.compose_capture(radio, start, end)
+            if self.fault_injector is not None:
+                capture = self.fault_injector.transform_capture(
+                    radio, capture, start
+                )
             radio.handle_capture(capture, tx)
 
         self.scheduler.schedule_at(tx.end_time, deliver)
@@ -227,3 +271,17 @@ class RfMedium:
             for tx in self._transmissions
             if tx.start_time <= now <= tx.end_time
         ]
+
+    def channel_busy(self, radio: "Transceiver") -> bool:
+        """Clear-channel assessment for *radio*'s current tuning.
+
+        True when any in-flight transmission from another source overlaps
+        the radio's receive band — the energy-detect CCA that backs the
+        MAC's unslotted CSMA-CA.
+        """
+        for tx in self.active_transmissions:
+            if tx.source is radio:
+                continue
+            if self._in_band(radio, tx.signal.center_frequency):
+                return True
+        return False

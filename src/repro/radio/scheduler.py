@@ -69,6 +69,13 @@ class Scheduler:
         """
         executed = 0
         while self._queue:
+            # Discard cancelled events before peeking: otherwise a cancelled
+            # head could satisfy the time bound while step() runs a *later*
+            # event past it.
+            while self._queue and self._queue[0][2].cancelled:
+                heapq.heappop(self._queue)
+            if not self._queue:
+                break
             next_time = self._queue[0][0]
             if next_time > time:
                 break

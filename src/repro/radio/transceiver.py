@@ -65,7 +65,9 @@ class Transceiver:
         self.tx_power_dbm = tx_power_dbm
         self.cfo_std_hz = cfo_std_hz
         self.noise_figure_db = noise_figure_db
-        self.rng = rng or np.random.default_rng()
+        # Default to a generator derived from the medium's seed (keyed by
+        # name) so an experiment is reproducible end to end from one seed.
+        self.rng = rng if rng is not None else medium.derive_rng(name)
         self.tuned_hz: float = 2440e6
         self._listening = False
         self._handler: Optional[CaptureHandler] = None
@@ -90,6 +92,11 @@ class Transceiver:
     @property
     def is_listening(self) -> bool:
         return self._listening and self.medium.scheduler.now >= self._transmit_until
+
+    @property
+    def is_transmitting(self) -> bool:
+        """True while a transmission of ours is still on the air."""
+        return self.medium.scheduler.now < self._transmit_until
 
     def start_rx(self, handler: CaptureHandler) -> None:
         """Enter receive mode; *handler* gets (filtered capture, transmission)."""

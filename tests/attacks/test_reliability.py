@@ -1,0 +1,306 @@
+"""Tests for attack-workflow reliability: per-stage retries with backoff,
+structured failure diagnosis, the watchdog, repeat-until-acked injection,
+and Scenario A's bounded repeat mode."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.scenario_a import SmartphoneInjectionAttack
+from repro.attacks.scenario_b import AttackPhase, StageDiagnosis, TrackerAttack
+from repro.chips import Nrf51822
+from repro.chips.smartphone import SmartphoneBle
+from repro.core.firmware import WazaBeeFirmware
+from repro.dot15d4.frames import Address, build_data
+from repro.zigbee.network import CoordinatorNode, SensorNode
+
+PAN = 0x1234
+COORD = Address(pan_id=PAN, address=0x0042)
+SENSOR = Address(pan_id=PAN, address=0x0063)
+
+
+def make_firmware(medium, scheduler, seed=3):
+    tracker = Nrf51822(medium, position=(0, 0), rng=np.random.default_rng(seed))
+    return WazaBeeFirmware(tracker, scheduler)
+
+
+@pytest.fixture()
+def environment(quiet_medium, scheduler):
+    coordinator = CoordinatorNode(
+        quiet_medium, address=COORD, position=(3, 0), rng=np.random.default_rng(1)
+    )
+    sensor = SensorNode(
+        quiet_medium,
+        address=SENSOR,
+        coordinator=COORD,
+        position=(3, 1.5),
+        report_interval_s=1.0,
+        rng=np.random.default_rng(2),
+    )
+    coordinator.start()
+    sensor.start()
+    firmware = make_firmware(quiet_medium, scheduler)
+    return coordinator, sensor, firmware, scheduler
+
+
+class TestScanRetries:
+    def test_scan_retries_before_failing(self, quiet_medium, scheduler):
+        firmware = make_firmware(quiet_medium, scheduler)
+        attack = TrackerAttack(
+            firmware, channels=(11,), max_stage_retries=2, retry_backoff_s=0.05
+        )
+        attack.run()
+        scheduler.run(2.0)
+        assert attack.phase is AttackPhase.FAILED
+        assert attack.stage_attempts[AttackPhase.SCANNING] == 3
+        retry_logs = [e for e in attack.log if "retrying" in e.message]
+        assert len(retry_logs) == 2
+
+    def test_backoff_doubles_between_attempts(self, quiet_medium, scheduler):
+        firmware = make_firmware(quiet_medium, scheduler)
+        attack = TrackerAttack(
+            firmware, channels=(11,), max_stage_retries=2, retry_backoff_s=0.1
+        )
+        assert attack._stage_backoff(1) == pytest.approx(0.1)
+        assert attack._stage_backoff(2) == pytest.approx(0.2)
+        assert attack._stage_backoff(3) == pytest.approx(0.4)
+
+
+class TestDiagnosis:
+    def test_scan_failure_produces_diagnosis(self, quiet_medium, scheduler):
+        firmware = make_firmware(quiet_medium, scheduler)
+        attack = TrackerAttack(firmware, channels=(11, 12))
+        attack.run()
+        scheduler.run(2.0)
+        assert attack.phase is AttackPhase.FAILED
+        diagnosis = attack.diagnosis
+        assert isinstance(diagnosis, StageDiagnosis)
+        assert diagnosis.stage is AttackPhase.SCANNING
+        assert diagnosis.attempts == 2  # initial + one default retry
+        assert "no network" in diagnosis.reason
+        assert diagnosis.suggestion
+        assert str(diagnosis)
+
+    def test_eavesdrop_failure_produces_diagnosis(
+        self, quiet_medium, scheduler
+    ):
+        coordinator = CoordinatorNode(
+            quiet_medium, address=COORD, position=(3, 0),
+            rng=np.random.default_rng(1),
+        )
+        coordinator.start()
+        firmware = make_firmware(quiet_medium, scheduler)
+        attack = TrackerAttack(firmware, channels=(14,), eavesdrop_timeout_s=0.5)
+        attack.run()
+        scheduler.run(5.0)
+        assert attack.phase is AttackPhase.FAILED
+        assert attack.diagnosis.stage is AttackPhase.EAVESDROPPING
+        assert attack.diagnosis.attempts == 2
+        assert "timed out" in attack.diagnosis.reason
+
+    def test_successful_attack_has_no_diagnosis(self, environment):
+        _, _, firmware, sched = environment
+        attack = TrackerAttack(
+            firmware, channels=(14,), fake_report_count=1,
+            fake_report_interval_s=0.5,
+        )
+        attack.run()
+        sched.run(10.0)
+        assert attack.phase is AttackPhase.DONE
+        assert attack.diagnosis is None
+
+
+class TestEavesdropRetry:
+    def test_extended_window_catches_slow_sensor(self, quiet_medium, scheduler):
+        """A sensor slower than one eavesdrop window is still caught by the
+        doubled retry window instead of failing the attack."""
+        coordinator = CoordinatorNode(
+            quiet_medium, address=COORD, position=(3, 0),
+            rng=np.random.default_rng(1),
+        )
+        sensor = SensorNode(
+            quiet_medium,
+            address=SENSOR,
+            coordinator=COORD,
+            position=(3, 1.5),
+            report_interval_s=1.5,
+            rng=np.random.default_rng(2),
+        )
+        coordinator.start()
+        sensor.start()
+        firmware = make_firmware(quiet_medium, scheduler)
+        attack = TrackerAttack(
+            firmware,
+            channels=(14,),
+            eavesdrop_timeout_s=1.0,
+            fake_report_count=1,
+            fake_report_interval_s=0.5,
+        )
+        attack.run()
+        scheduler.run(10.0)
+        assert attack.phase is AttackPhase.DONE
+        assert attack.stage_attempts[AttackPhase.EAVESDROPPING] == 2
+        assert attack.sensor_address == SENSOR
+
+
+class TestWatchdog:
+    def test_watchdog_bounds_a_stalled_stage(self, quiet_medium, scheduler):
+        coordinator = CoordinatorNode(
+            quiet_medium, address=COORD, position=(3, 0),
+            rng=np.random.default_rng(1),
+        )
+        coordinator.start()
+        firmware = make_firmware(quiet_medium, scheduler)
+        # Eavesdropping would wait ~30s across retries; the watchdog caps
+        # the whole workflow first.
+        attack = TrackerAttack(
+            firmware,
+            channels=(14,),
+            eavesdrop_timeout_s=10.0,
+            max_stage_retries=1,
+            max_attack_duration_s=2.0,
+        )
+        done = []
+        attack.run(on_complete=done.append)
+        scheduler.run(60.0)
+        assert done and done[0].phase is AttackPhase.FAILED
+        assert attack.diagnosis is not None
+        assert "watchdog" in attack.diagnosis.reason
+        assert attack.diagnosis.stage is AttackPhase.EAVESDROPPING
+
+    def test_watchdog_cancelled_on_success(self, environment):
+        _, _, firmware, sched = environment
+        attack = TrackerAttack(
+            firmware, channels=(14,), fake_report_count=1,
+            fake_report_interval_s=0.5, max_attack_duration_s=30.0,
+        )
+        attack.run()
+        sched.run(10.0)
+        assert attack.phase is AttackPhase.DONE
+        assert attack._watchdog is None
+
+    def test_watchdog_disabled_when_none(self, quiet_medium, scheduler):
+        firmware = make_firmware(quiet_medium, scheduler)
+        attack = TrackerAttack(
+            firmware, channels=(11,), max_attack_duration_s=None
+        )
+        attack.run()
+        scheduler.run(2.0)
+        assert attack._watchdog is None
+
+
+class TestReliableInjection:
+    def test_send_frame_reliable_acked_first_try(self, environment):
+        coordinator, _, firmware, sched = environment
+        frame = build_data(
+            source=SENSOR,
+            destination=COORD,
+            payload=b"\x10\x01\x02",
+            sequence_number=0x55,
+            ack_request=True,
+        )
+        results = []
+        firmware.send_frame_reliable(
+            frame, channel=14, on_result=results.append
+        )
+        sched.run(0.1)
+        assert len(results) == 1
+        assert results[0].delivered is True
+        assert results[0].attempts == 1
+        assert results[0].sequence_number == 0x55
+
+    def test_send_frame_reliable_gives_up_without_ack(
+        self, quiet_medium, scheduler
+    ):
+        firmware = make_firmware(quiet_medium, scheduler)
+        frame = build_data(
+            source=SENSOR,
+            destination=COORD,
+            payload=b"\x10",
+            sequence_number=0x66,
+            ack_request=True,
+        )
+        results = []
+        firmware.send_frame_reliable(
+            frame, channel=14, max_attempts=3, on_result=results.append
+        )
+        scheduler.run(0.5)
+        assert len(results) == 1
+        assert results[0].delivered is False
+        assert results[0].attempts == 3
+
+    def test_reliable_spoofing_counts_delivered_reports(self, environment):
+        coordinator, _, firmware, sched = environment
+        attack = TrackerAttack(
+            firmware,
+            channels=(14,),
+            fake_report_count=2,
+            fake_report_interval_s=0.5,
+            reliable_spoofing=True,
+        )
+        attack.run()
+        sched.run(15.0)
+        assert attack.phase is AttackPhase.DONE
+        assert attack.fake_reports_sent == 2
+        assert attack.fake_reports_delivered == 2
+        fake = [e for e in coordinator.display if e.value == 99]
+        assert len(fake) == 2
+
+
+class TestScenarioABoundedMode:
+    def test_bounded_mode_stops_after_target_hits(
+        self, quiet_medium, scheduler
+    ):
+        phone = SmartphoneBle(quiet_medium, rng=np.random.default_rng(1))
+        frame = build_data(
+            SENSOR, COORD, b"\x10\x01", sequence_number=1, ack_request=False
+        )
+        attack = SmartphoneInjectionAttack(
+            phone, zigbee_channel=14, frame=frame
+        )
+        outcomes = []
+        attack.start_bounded(
+            target_hits=1,
+            max_events=2000,
+            interval_s=0.1,
+            on_complete=lambda a, ok: outcomes.append(ok),
+        )
+        scheduler.run(150.0)
+        assert outcomes == [True]
+        assert attack.events_on_target >= 1
+        # Advertising stopped at the hit — no runaway event stream.
+        assert attack.events_total < 2000
+
+    def test_bounded_mode_reports_failure_at_event_budget(
+        self, quiet_medium, scheduler
+    ):
+        phone = SmartphoneBle(quiet_medium, rng=np.random.default_rng(2))
+        frame = build_data(
+            SENSOR, COORD, b"\x10\x01", sequence_number=1, ack_request=False
+        )
+        attack = SmartphoneInjectionAttack(
+            phone, zigbee_channel=14, frame=frame
+        )
+        outcomes = []
+        # target_hits effectively unreachable within 5 events.
+        attack.start_bounded(
+            target_hits=100,
+            max_events=5,
+            interval_s=0.1,
+            on_complete=lambda a, ok: outcomes.append(ok),
+        )
+        scheduler.run(10.0)
+        assert outcomes == [False]
+        assert attack.events_total == 5
+
+    def test_bounded_mode_validates_arguments(self, quiet_medium):
+        phone = SmartphoneBle(quiet_medium, rng=np.random.default_rng(1))
+        frame = build_data(
+            SENSOR, COORD, b"\x10", sequence_number=1, ack_request=False
+        )
+        attack = SmartphoneInjectionAttack(
+            phone, zigbee_channel=14, frame=frame
+        )
+        with pytest.raises(ValueError):
+            attack.start_bounded(target_hits=0)
+        with pytest.raises(ValueError):
+            attack.start_bounded(max_events=0)

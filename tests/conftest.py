@@ -2,11 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.radio.medium import RfMedium
 from repro.radio.scheduler import Scheduler
+
+# A fixed Hypothesis profile for CI: no deadline flakes on loaded runners,
+# derandomised so every run explores the same examples.
+settings.register_profile(
+    "ci", deadline=None, max_examples=50, derandomize=True
+)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 
 @pytest.fixture()

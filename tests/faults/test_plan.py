@@ -1,0 +1,76 @@
+"""Tests for fault plans and the named chaos profile catalogue."""
+
+import dataclasses
+
+import pytest
+
+from repro.dot15d4.channels import channel_frequency_hz
+from repro.faults import (
+    CollisionBurst,
+    DropoutWindow,
+    FaultPlan,
+    named_profile,
+    profile_names,
+)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_clean(self):
+        assert FaultPlan().is_clean()
+
+    def test_any_fault_makes_plan_dirty(self):
+        plan = FaultPlan(dropouts=(DropoutWindow(0.0, 1.0),))
+        assert not plan.is_clean()
+        assert not FaultPlan(cfo_drift_hz_per_s=1.0).is_clean()
+
+    def test_plan_is_frozen(self):
+        plan = FaultPlan()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.seed = 5
+
+
+class TestDropoutWindow:
+    def test_covers_inside_half_open_interval(self):
+        window = DropoutWindow(start_s=1.0, end_s=2.0)
+        assert window.covers(1.0, "any")
+        assert window.covers(1.5, "any")
+        assert not window.covers(2.0, "any")
+        assert not window.covers(0.9, "any")
+
+    def test_named_radio_scoping(self):
+        window = DropoutWindow(start_s=0.0, end_s=1.0, radio_name="rx1")
+        assert window.covers(0.5, "rx1")
+        assert not window.covers(0.5, "rx2")
+
+
+class TestProfiles:
+    def test_catalogue_names(self):
+        names = profile_names()
+        assert names == tuple(sorted(names))
+        for expected in ("clean", "dropout", "drifting", "flaky-rx", "harsh", "jammer"):
+            assert expected in names
+
+    def test_every_profile_builds(self):
+        for name in profile_names():
+            plan = named_profile(name, channel=20, seed=3)
+            assert plan.name == name
+            assert plan.seed == 3
+
+    def test_clean_profile_is_clean(self):
+        assert named_profile("clean").is_clean()
+
+    def test_harsh_profile_is_not_clean(self):
+        assert not named_profile("harsh").is_clean()
+
+    def test_jammer_targets_requested_channel(self):
+        plan = named_profile("jammer", channel=22)
+        assert plan.bursts
+        assert plan.bursts[0].center_hz == channel_frequency_hz(22)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos profile"):
+            named_profile("nope")
+
+    def test_burst_repetition_is_bounded(self):
+        burst = CollisionBurst(start_s=0.0, duration_s=1e-3, period_s=1e-2, count=7)
+        assert burst.count == 7

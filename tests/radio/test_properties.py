@@ -1,0 +1,139 @@
+"""Property-based tests for the scheduler and the medium's sample mixer."""
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.medium import RfMedium
+from repro.radio.scheduler import Scheduler
+
+times = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSchedulerOrdering:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(times, min_size=1, max_size=20))
+    def test_events_fire_in_timestamp_order(self, timestamps):
+        sched = Scheduler()
+        fired = []
+        for t in timestamps:
+            sched.schedule_at(t, lambda t=t: fired.append(t))
+        sched.run_until(200.0)
+        assert fired == sorted(timestamps)
+        assert len(fired) == len(timestamps)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=2, max_value=12))
+    def test_ties_fire_in_insertion_order(self, n):
+        sched = Scheduler()
+        fired = []
+        for i in range(n):
+            sched.schedule_at(1.0, lambda i=i: fired.append(i))
+        sched.run_until(2.0)
+        assert fired == list(range(n))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(times, min_size=1, max_size=20),
+        st.data(),
+    )
+    def test_cancelled_events_never_fire(self, timestamps, data):
+        sched = Scheduler()
+        fired = []
+        handles = [
+            sched.schedule_at(t, lambda t=t: fired.append(t))
+            for t in timestamps
+        ]
+        cancelled = data.draw(
+            st.sets(
+                st.integers(min_value=0, max_value=len(handles) - 1),
+            )
+        )
+        for index in cancelled:
+            handles[index].cancel()
+        sched.run_until(200.0)
+        survivors = [
+            t for i, t in enumerate(timestamps) if i not in cancelled
+        ]
+        assert fired == sorted(survivors)
+
+
+class TestSchedulerContracts:
+    @settings(max_examples=50, deadline=None)
+    @given(times, st.floats(min_value=1e-6, max_value=10.0))
+    def test_past_time_rejected(self, now, delta):
+        sched = Scheduler()
+        sched.run_until(now)  # advances the clock even with no events
+        assert sched.now == now
+        with pytest.raises(ValueError, match="cannot schedule"):
+            sched.schedule_at(now - delta, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sched = Scheduler()
+        with pytest.raises(ValueError, match="non-negative"):
+            sched.schedule(-0.1, lambda: None)
+
+    def test_cancelled_head_does_not_leak_later_events(self):
+        """Regression: a cancelled event at the queue head must not let
+        run_until execute events *beyond* its time bound."""
+        sched = Scheduler()
+        fired = []
+        handle = sched.schedule_at(1.0, lambda: fired.append("cancelled"))
+        sched.schedule_at(5.0, lambda: fired.append("late"))
+        handle.cancel()
+        sched.run_until(2.0)
+        assert fired == []
+        sched.run_until(10.0)
+        assert fired == ["late"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(times, min_size=1, max_size=15), times)
+    def test_run_until_respects_bound(self, timestamps, bound):
+        sched = Scheduler()
+        fired = []
+        for t in timestamps:
+            sched.schedule_at(t, lambda t=t: fired.append(t))
+        sched.run_until(bound)
+        assert all(t <= bound for t in fired)
+        assert sched.now >= bound
+
+
+class TestAddAtBoundaries:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=-128, max_value=128),
+    )
+    def test_overlap_is_exact_and_never_out_of_bounds(
+        self, buf_size, src_size, offset
+    ):
+        buffer = np.zeros(buf_size, dtype=np.complex128)
+        samples = np.ones(src_size, dtype=np.complex128)
+        RfMedium._add_at(buffer, samples, offset)
+        expected = np.zeros(buf_size, dtype=np.complex128)
+        for i in range(src_size):
+            j = offset + i
+            if 0 <= j < buf_size:
+                expected[j] = 1.0
+        assert np.array_equal(buffer, expected)
+
+    def test_entirely_before_buffer_is_noop(self):
+        buffer = np.zeros(8, dtype=np.complex128)
+        RfMedium._add_at(buffer, np.ones(4, dtype=np.complex128), -4)
+        assert not buffer.any()
+
+    def test_entirely_after_buffer_is_noop(self):
+        buffer = np.zeros(8, dtype=np.complex128)
+        RfMedium._add_at(buffer, np.ones(4, dtype=np.complex128), 8)
+        assert not buffer.any()
+
+    def test_addition_accumulates(self):
+        buffer = np.ones(4, dtype=np.complex128)
+        RfMedium._add_at(buffer, np.ones(4, dtype=np.complex128), 0)
+        assert np.array_equal(buffer, 2.0 * np.ones(4))

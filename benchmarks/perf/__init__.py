@@ -1,0 +1,21 @@
+"""Performance microbenchmarks and the ``BENCH_PR2.json`` trajectory.
+
+Unlike the sibling ``benchmarks/test_*`` modules — which regenerate the
+*artefacts* of the paper (tables, figures) — this package times the hot
+paths that make those artefacts cheap to regenerate at scale:
+
+* ``bench_decode`` — reception-primitive decode throughput (frames/s),
+  vectorised :meth:`CorrespondenceTable.decode_blocks` vs the scalar
+  per-block reference;
+* ``bench_capture`` — :meth:`RfMedium.compose_capture` latency, the inner
+  loop of every simulated delivery;
+* ``bench_table3_cell`` — wall-clock of one Table III cell, the unit the
+  ``--workers`` fan-out parallelises.
+
+Run ``python -m benchmarks.perf`` to execute all of them and write
+``BENCH_PR2.json`` (see :mod:`benchmarks.perf.harness` for the schema).
+"""
+
+from benchmarks.perf.harness import BenchRecord, run_suite, write_report
+
+__all__ = ["BenchRecord", "run_suite", "write_report"]

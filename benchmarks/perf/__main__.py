@@ -1,0 +1,7 @@
+"""``python -m benchmarks.perf`` — run the perf suite, write BENCH_PR2.json."""
+
+import sys
+
+from benchmarks.perf.harness import main
+
+sys.exit(main())

@@ -1,0 +1,71 @@
+""":meth:`RfMedium.compose_capture` latency microbenchmark.
+
+Capture composition — superposing every overlapping transmission, the
+interferer bursts and the noise floor into one IQ window — runs once per
+delivered frame, so its latency multiplies into every simulated
+experiment.  The bench stands up the paper's testbed (two WiFi
+interferers), puts a frame on the air and times composing its delivery
+window.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from benchmarks.perf.harness import BenchRecord, best_of
+from repro.chips import Nrf52832, RzUsbStick
+from repro.core.tx import WazaBeeTransmitter
+from repro.dot15d4.frames import Address, build_data
+from repro.experiments.environment import build_testbed
+
+__all__ = ["bench_compose_capture"]
+
+_SRC = Address(pan_id=0x1234, address=0x0063)
+_DST = Address(pan_id=0x1234, address=0x0042)
+
+
+def bench_compose_capture(quick: bool = False) -> List[BenchRecord]:
+    repeats = 3 if quick else 10
+    testbed = build_testbed(seed=3)
+    attacker = Nrf52832(
+        testbed.medium,
+        position=testbed.attacker_position,
+        rng=np.random.default_rng(1),
+    )
+    reference = RzUsbStick(
+        testbed.medium,
+        position=testbed.reference_position,
+        rng=np.random.default_rng(2),
+    )
+    reference.set_channel(14)
+    reference.start_rx(lambda _frame: None)
+    tx = WazaBeeTransmitter(attacker)
+    tx.configure(14)
+    frame = build_data(_SRC, _DST, b"bench-payload", sequence_number=1)
+    tx.transmit(frame)
+    transmission = testbed.medium._transmissions[-1]
+    start = transmission.start_time - testbed.medium.capture_margin_s
+    end = transmission.end_time + testbed.medium.capture_margin_s
+    radio = reference.transceiver
+    window_samples = int(
+        round((end - start) * testbed.medium.sample_rate)
+    )
+
+    def compose() -> None:
+        testbed.medium.compose_capture(radio, start, end)
+
+    latency_s = best_of(compose, repeats=repeats)
+    return [
+        BenchRecord(
+            name="compose_capture_latency",
+            metric="ms",
+            value=latency_s * 1e3,
+            repeats=repeats,
+            extra={
+                "window_samples": window_samples,
+                "interferers": len(testbed.medium.interferers),
+            },
+        )
+    ]

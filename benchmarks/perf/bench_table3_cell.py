@@ -1,0 +1,38 @@
+"""Wall-clock of one Table III cell — the unit ``--workers`` parallelises.
+
+One cell is *frames* end-to-end simulated transmissions (modulation, medium
+composition, despreading, classification) on one (chip, primitive, channel)
+combination.  The full table is 64 cells; cell latency × 64 / workers is
+the cost of regenerating the paper's central quantitative claim.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from benchmarks.perf.harness import BenchRecord, best_of
+from repro.experiments.table3 import run_table3_cell
+
+__all__ = ["bench_table3_cell"]
+
+
+def bench_table3_cell(quick: bool = False) -> List[BenchRecord]:
+    frames = 5 if quick else 25
+    repeats = 2 if quick else 3
+
+    def run_cell() -> None:
+        run_table3_cell("nRF52832", "rx", channel=14, frames=frames, seed=1)
+
+    latency_s = best_of(run_cell, repeats=repeats)
+    return [
+        BenchRecord(
+            name="table3_cell_wall_clock",
+            metric="ms",
+            value=latency_s * 1e3,
+            repeats=repeats,
+            extra={
+                "frames": frames,
+                "ms_per_frame": latency_s * 1e3 / frames,
+            },
+        )
+    ]

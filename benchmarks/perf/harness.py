@@ -1,0 +1,141 @@
+"""Timing harness and JSON report writer for the perf suite.
+
+``BENCH_PR2.json`` schema (``wazabee-bench/1``)::
+
+    {
+      "schema": "wazabee-bench/1",
+      "suite": "BENCH_PR2",
+      "quick": false,
+      "python": "3.12.3",
+      "numpy": "1.26.4",
+      "benchmarks": {
+        "<name>": {
+          "metric": "<unit of 'value', e.g. frames_per_s | ms>",
+          "value": 123.4,          # headline number (higher/lower per metric)
+          "repeats": 5,            # timed repetitions behind the headline
+          "extra": {...}           # bench-specific context (sizes, ratios)
+        },
+        ...
+      }
+    }
+
+Every future PR appends a ``BENCH_PR<n>.json`` produced by the same
+schema, so the perf trajectory of the hot paths stays comparable across
+the whole stack.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["BenchRecord", "best_of", "run_suite", "write_report"]
+
+SCHEMA = "wazabee-bench/1"
+SUITE = "BENCH_PR2"
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark's headline number plus context."""
+
+    name: str
+    metric: str
+    value: float
+    repeats: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def best_of(fn: Callable[[], None], repeats: int = 5) -> float:
+    """Minimum wall-clock of *repeats* runs of *fn*, in seconds.
+
+    The minimum — not the mean — estimates the cost of the code itself;
+    everything above it is scheduler noise, which a loaded CI runner has
+    plenty of.
+    """
+    timings: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def run_suite(quick: bool = False) -> List[BenchRecord]:
+    """Execute every registered benchmark and collect the records.
+
+    *quick* shrinks workloads to smoke-test size (the CI job) while
+    keeping every code path exercised.
+    """
+    from benchmarks.perf.bench_capture import bench_compose_capture
+    from benchmarks.perf.bench_decode import bench_decode_throughput
+    from benchmarks.perf.bench_table3_cell import bench_table3_cell
+
+    records: List[BenchRecord] = []
+    records.extend(bench_decode_throughput(quick=quick))
+    records.extend(bench_compose_capture(quick=quick))
+    records.extend(bench_table3_cell(quick=quick))
+    return records
+
+
+def write_report(
+    records: List[BenchRecord], path: str, quick: bool = False
+) -> Dict:
+    """Serialise *records* to *path* in the ``wazabee-bench/1`` schema."""
+    report = {
+        "schema": SCHEMA,
+        "suite": SUITE,
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": {
+            record.name: {
+                "metric": record.metric,
+                "value": record.value,
+                "repeats": record.repeats,
+                "extra": record.extra,
+            }
+            for record in records
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="run the WazaBee perf suite and write BENCH_PR2.json",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-test workload sizes (CI); numbers are not comparable "
+        "to full runs",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_PR2.json",
+        help="report path (default: ./BENCH_PR2.json)",
+    )
+    args = parser.parse_args(argv)
+    records = run_suite(quick=args.quick)
+    report = write_report(records, args.output, quick=args.quick)
+    for name, body in sorted(report["benchmarks"].items()):
+        print(f"{name:40s} {body['value']:>14.3f} {body['metric']}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

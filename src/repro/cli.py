@@ -48,6 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     t3.add_argument("--seed", type=int, default=1)
     t3.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the independent cells out over N worker processes "
+        "(results are bit-identical to the serial run)",
+    )
+    t3.add_argument(
         "--chaos",
         default=None,
         metavar="PROFILE",
@@ -115,12 +123,16 @@ def _cmd_table3(args) -> int:
             )
             return 2
     channels = tuple(args.channels) if args.channels else ZIGBEE_CHANNELS
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
     result = run_table3(
         frames=args.frames,
         channels=channels,
         chips=tuple(args.chips),
         seed=args.seed,
         fault_profile=args.chaos,
+        workers=args.workers,
     )
     if args.chaos is not None:
         print(f"chaos profile: {args.chaos}")

@@ -9,8 +9,9 @@ tracker in §VI-C.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Deque, List, Optional, Sequence
 
 from repro.core.radio_api import LowLevelRadio
 from repro.core.rx import DecodedFrame, WazaBeeReceiver
@@ -18,7 +19,14 @@ from repro.core.tx import WazaBeeTransmitter
 from repro.dot15d4.frames import FrameType, MacFrame, build_beacon_request
 from repro.radio.scheduler import Scheduler
 
-__all__ = ["ScanResult", "ReliableSendResult", "WazaBeeFirmware"]
+__all__ = ["RAW_FRAME_CAP", "ScanResult", "ReliableSendResult", "WazaBeeFirmware"]
+
+#: Retention cap for :attr:`WazaBeeFirmware.raw_frames`.  Long sniffs and
+#: active scans (scenario B runs under a watchdog, not a frame budget) would
+#: otherwise grow the list without bound; 4096 frames is hours of typical
+#: Zigbee traffic while bounding memory.  The total ever decoded is tracked
+#: separately in :attr:`WazaBeeFirmware.raw_frames_seen`.
+RAW_FRAME_CAP = 4096
 
 
 @dataclass
@@ -52,9 +60,14 @@ class WazaBeeFirmware:
         self.transmitter = WazaBeeTransmitter(radio)
         self.receiver = WazaBeeReceiver(radio)
         self._sniffer_handler: Optional[SnifferHandler] = None
+        self._raw_tap: Optional[Callable[[DecodedFrame], None]] = None
         self._sniffing_channel: Optional[int] = None
         self.scan_results: List[ScanResult] = []
-        self.raw_frames: List[DecodedFrame] = []
+        #: Ring buffer of the most recent decodes (valid *and* corrupted).
+        self.raw_frames: Deque[DecodedFrame] = deque(maxlen=RAW_FRAME_CAP)
+        #: Monotonic count of every frame ever decoded, unaffected by the
+        #: ring buffer evicting old entries.
+        self.raw_frames_seen: int = 0
 
     # -- injection ----------------------------------------------------------
     def send_frame(self, frame: MacFrame, channel: int) -> None:
@@ -104,6 +117,8 @@ class WazaBeeFirmware:
                 )
 
         def on_ack(decoded: DecodedFrame) -> None:
+            # Defense-in-depth: the receiver only hands FCS-valid frames to
+            # this (main) handler, but an ACK gate must never trust that.
             if not decoded.fcs_ok:
                 return
             try:
@@ -130,19 +145,41 @@ class WazaBeeFirmware:
         attempt()
 
     # -- sniffing -------------------------------------------------------------
-    def start_sniffer(self, channel: int, handler: SnifferHandler) -> None:
-        """Receive 802.15.4 frames on *channel*; MAC-decode valid ones."""
+    def start_sniffer(
+        self,
+        channel: int,
+        handler: SnifferHandler,
+        raw_tap: Optional[Callable[[DecodedFrame], None]] = None,
+    ) -> None:
+        """Receive 802.15.4 frames on *channel*; MAC-decode valid ones.
+
+        *handler* only sees FCS-valid, MAC-parseable frames.  *raw_tap*,
+        when given, sees every decode — FCS-valid and corrupted alike —
+        the hook Table III's corrupted-frame accounting is built on.
+        """
         self._sniffer_handler = handler
+        self._raw_tap = raw_tap
         self._sniffing_channel = channel
-        self.receiver.start(channel, self._on_frame)
+        # The receiver routes FCS-valid and FCS-failed frames to disjoint
+        # handlers; the firmware funnels both into the raw stream.
+        self.receiver.start(
+            channel, self._on_frame, corrupt_handler=self._on_frame
+        )
 
     def stop_sniffer(self) -> None:
         self.receiver.stop()
         self._sniffer_handler = None
+        self._raw_tap = None
         self._sniffing_channel = None
 
     def _on_frame(self, decoded: DecodedFrame) -> None:
         self.raw_frames.append(decoded)
+        self.raw_frames_seen += 1
+        if self._raw_tap is not None:
+            self._raw_tap(decoded)
+        # fcs_ok re-check is defense-in-depth: the receiver already routes
+        # FCS-failed frames to the corrupt path, but this method serves as
+        # both targets.
         if self._sniffer_handler is None or not decoded.fcs_ok:
             return
         try:

@@ -91,14 +91,15 @@ def decode_payload_bits(
     num_strides = arr.size // MSK_STRIDE
     if num_strides < 3:
         return _decode_failure("truncated", strict)
-    symbols: List[int] = []
-    distances: List[int] = []
-    for k in range(num_strides):
-        # Stride layout: [symbol-boundary transition, 31 intra bits].
-        block = arr[k * MSK_STRIDE + 1 : (k + 1) * MSK_STRIDE]
-        symbol, distance = table.decode_block(block)
-        symbols.append(symbol)
-        distances.append(distance)
+    # Stride layout: [symbol-boundary transition, 31 intra bits].  Reshape
+    # the capture into an (N, 31) block matrix and despread all symbols in
+    # one vectorised pass (scalar reference: CorrespondenceTable.decode_block).
+    blocks = arr[: num_strides * MSK_STRIDE].reshape(num_strides, MSK_STRIDE)[
+        :, 1:
+    ]
+    symbol_arr, distance_arr = table.decode_blocks(blocks)
+    symbols: List[int] = symbol_arr.tolist()
+    distances: List[int] = distance_arr.tolist()
     sfd_index = Ppdu.find_sfd(symbols, search_limit=sfd_search_limit)
     if sfd_index is None:
         return _decode_failure("no-sfd", strict)
@@ -140,9 +141,15 @@ class WazaBeeReceiver:
     *max_mean_distance* is an optional decode-confidence threshold: decoded
     frames whose mean block Hamming distance exceeds it are discarded as
     noise (counted in :attr:`low_confidence_drops`) instead of being handed
-    to the application.  A *corrupt_handler* receives FCS-failed frames —
-    the salvage path: such a frame still carries per-symbol confidences, so
-    callers can localise the damage or fuse repeated corrupted receptions.
+    to the application.
+
+    Handler contract: every decoded frame is delivered to **exactly one**
+    handler.  The main *handler* receives only FCS-valid frames; the
+    optional *corrupt_handler* receives the FCS-failed ones — the salvage
+    path: such a frame still carries per-symbol confidences, so callers can
+    localise the damage or fuse repeated corrupted receptions.  Without a
+    *corrupt_handler*, FCS-failed frames are dropped (counted in
+    :attr:`corrupt_drops`).
     """
 
     def __init__(
@@ -155,6 +162,7 @@ class WazaBeeReceiver:
         self.table = table or default_table()
         self.max_mean_distance = max_mean_distance
         self.low_confidence_drops = 0
+        self.corrupt_drops = 0
         self._handler: Optional[FrameHandler] = None
         self._corrupt_handler: Optional[FrameHandler] = None
         self._channel: Optional[int] = None
@@ -200,8 +208,14 @@ class WazaBeeReceiver:
         ):
             self.low_confidence_drops += 1
             return
-        if not frame.fcs_ok and self._corrupt_handler is not None:
-            self._corrupt_handler(frame)
+        if not frame.fcs_ok:
+            # FCS-failed frames take the salvage path only; the main
+            # handler's contract is "FCS-valid frames".
+            if self._corrupt_handler is not None:
+                self._corrupt_handler(frame)
+            else:
+                self.corrupt_drops += 1
+            return
         self._handler(frame)
 
     @property

@@ -97,6 +97,30 @@ class CorrespondenceTable:
         best = int(np.argmin(distances))
         return best, int(distances[best])
 
+    def decode_blocks(self, blocks) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`decode_block` over a whole capture.
+
+        *blocks* is an ``(N, 31)`` array of received bits — one row per
+        DSSS symbol.  All N×16 Hamming distances are computed in a single
+        broadcast XOR/popcount, then reduced with ``argmin`` per row.
+        Returns ``(symbols, distances)`` as length-``N`` ``int64`` arrays,
+        bit-exact with calling :meth:`decode_block` on each row (ties
+        resolve to the lowest symbol index in both).
+        """
+        arr = np.asarray(blocks, dtype=np.uint8)
+        if arr.ndim != 2 or arr.shape[1] != MSK_BITS_PER_SYMBOL:
+            raise ValueError(
+                f"expected an (N, {MSK_BITS_PER_SYMBOL}) block matrix, "
+                f"got shape {arr.shape}"
+            )
+        # (N, 1, 31) vs (1, 16, 31) -> (N, 16) distance matrix in one
+        # broadcast compare-and-popcount.
+        distances = (arr[:, None, :] != self.matrix[None, :, :]).sum(
+            axis=2, dtype=np.int64
+        )
+        symbols = distances.argmin(axis=1)
+        return symbols, distances[np.arange(arr.shape[0]), symbols]
+
     def as_dict(self) -> Dict[int, str]:
         """Human-readable dump (used by the Table I / Algorithm 1 benches)."""
         return {

@@ -16,6 +16,7 @@ Zigbee channels 16–18 and 21–23.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from zlib import crc32
@@ -132,35 +133,36 @@ def run_table3_cell(
     firmware = WazaBeeFirmware(chip, testbed.scheduler)
     result = ChannelResult(channel=channel)
 
-    outcomes: List[Tuple[bytes, bool]] = []
+    # Every reception relevant to the cell — FCS-valid *and* corrupted —
+    # lands here; classification reads this single tap.
+    received_tap: List[Tuple[bytes, bool]] = []
     if primitive == "rx":
         firmware.start_sniffer(
-            channel, lambda frame, decoded: outcomes.append((decoded.psdu, decoded.fcs_ok))
+            channel,
+            lambda _frame, _decoded: None,
+            raw_tap=lambda d: received_tap.append((d.psdu, d.fcs_ok)),
         )
-        # The sniffer handler above only sees FCS-valid frames; tap the raw
-        # stream as well so corrupted receptions are counted.
-        raw_tap = firmware.raw_frames
         for i in range(frames):
-            outcomes.clear()
-            raw_before = len(raw_tap)
+            received_tap.clear()
             frame = _counter_frame(i)
             reference.transmit_frame(frame)
             testbed.scheduler.run(2e-3)
-            decoded = [(d.psdu, d.fcs_ok) for d in raw_tap[raw_before:]]
-            valid, corrupted = _classify(decoded, frame.to_bytes())
+            valid, corrupted = _classify(received_tap, frame.to_bytes())
             _tally(result, valid, corrupted)
         firmware.stop_sniffer()
     else:
         reference.start_rx(
-            lambda received: outcomes.append((received.psdu, received.fcs_ok))
+            lambda received: received_tap.append(
+                (received.psdu, received.fcs_ok)
+            )
         )
         firmware.transmitter.configure(channel)
         for i in range(frames):
-            outcomes.clear()
+            received_tap.clear()
             frame = _counter_frame(i)
             firmware.transmitter.transmit(frame)
             testbed.scheduler.run(2e-3)
-            valid, corrupted = _classify(list(outcomes), frame.to_bytes())
+            valid, corrupted = _classify(received_tap, frame.to_bytes())
             _tally(result, valid, corrupted)
         reference.stop_rx()
     return result
@@ -196,6 +198,11 @@ class Table3Result:
         }
 
 
+def _run_cell_args(kwargs: Dict) -> ChannelResult:
+    """Module-level trampoline so cells pickle cleanly to worker processes."""
+    return run_table3_cell(**kwargs)
+
+
 def run_table3(
     frames: int = 100,
     channels: Sequence[int] = ZIGBEE_CHANNELS,
@@ -204,23 +211,43 @@ def run_table3(
     profile: Optional[TestbedProfile] = None,
     seed: int = 0,
     fault_profile: Optional[str] = None,
+    workers: int = 1,
 ) -> Table3Result:
-    """Regenerate Table III (or a subset of it)."""
+    """Regenerate Table III (or a subset of it).
+
+    With ``workers > 1`` the independent (chip, primitive, channel) cells
+    fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Each
+    cell derives its testbed seed from ``crc32(chip/primitive/channel)``,
+    so the parallel run is bit-identical to the serial one — only faster.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     result = Table3Result(frames_per_cell=frames)
-    for chip in chips:
-        for primitive in primitives:
-            rows: Dict[int, ChannelResult] = {}
-            for channel in channels:
-                rows[channel] = run_table3_cell(
-                    chip,
-                    primitive,
-                    channel,
-                    frames=frames,
-                    profile=profile,
-                    seed=seed,
-                    fault_profile=fault_profile,
-                )
-            result.cells[(chip, primitive)] = rows
+    grid = [
+        (chip, primitive, channel)
+        for chip in chips
+        for primitive in primitives
+        for channel in channels
+    ]
+    cell_kwargs = [
+        dict(
+            chip_name=chip,
+            primitive=primitive,
+            channel=channel,
+            frames=frames,
+            profile=profile,
+            seed=seed,
+            fault_profile=fault_profile,
+        )
+        for chip, primitive, channel in grid
+    ]
+    if workers == 1:
+        cells = [_run_cell_args(kwargs) for kwargs in cell_kwargs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            cells = list(pool.map(_run_cell_args, cell_kwargs))
+    for (chip, primitive, _channel), cell in zip(grid, cells):
+        result.cells.setdefault((chip, primitive), {})[cell.channel] = cell
     return result
 
 

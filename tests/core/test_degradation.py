@@ -160,8 +160,8 @@ class TestSalvagePath:
         assert not corrupt[0].fcs_ok
         # Salvaged frames still carry per-symbol confidence for fusion.
         assert corrupt[0].confidences
-        # The ordinary handler still sees it (Table III counts corrupted).
-        assert len(frames) == 1
+        # The ordinary handler only ever sees FCS-valid frames.
+        assert frames == []
 
     def test_low_confidence_drop_counter(self):
         radio = _FakeRadio()

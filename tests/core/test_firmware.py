@@ -55,6 +55,26 @@ class TestSniffer:
         firmware.start_sniffer(14, lambda f, d: None)
         scheduler.run(1.2)
         assert len(firmware.raw_frames) >= 1
+        assert firmware.raw_frames_seen == len(firmware.raw_frames)
+
+    def test_raw_tap_sees_every_decode(self, firmware, network, scheduler):
+        tapped = []
+        firmware.start_sniffer(14, lambda f, d: None, raw_tap=tapped.append)
+        scheduler.run(1.2)
+        assert len(tapped) == firmware.raw_frames_seen >= 1
+
+    def test_raw_frames_bounded(self, firmware):
+        """Long sniffs must not grow raw_frames without bound; the monotonic
+        counter keeps the total even after the ring evicts."""
+        from repro.core.firmware import RAW_FRAME_CAP
+        from repro.core.rx import DecodedFrame
+
+        for i in range(RAW_FRAME_CAP + 50):
+            firmware._on_frame(
+                DecodedFrame(psdu=b"", fcs_ok=False, sfd_index=0)
+            )
+        assert len(firmware.raw_frames) == RAW_FRAME_CAP
+        assert firmware.raw_frames_seen == RAW_FRAME_CAP + 50
 
 
 class TestInjection:

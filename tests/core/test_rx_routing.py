@@ -1,0 +1,133 @@
+"""Regression tests for the receiver's frame-routing contract.
+
+Pre-PR2 the receiver delivered an FCS-failed frame to the corrupt handler
+*and then also* to the main handler, double-counting corrupted receptions
+for any consumer that trusted the documented contract ("the main handler
+only sees FCS-valid frames").  These tests pin the corrected routing:
+every decoded frame reaches exactly one handler.
+"""
+
+import numpy as np
+
+from repro.core.encoding import frame_to_msk_bits
+from repro.core.firmware import WazaBeeFirmware
+from repro.core.rx import WazaBeeReceiver
+from repro.dot15d4.frames import Address, build_data
+from repro.radio.scheduler import Scheduler
+
+SRC = Address(pan_id=0x1234, address=0x0042)
+DST = Address(pan_id=0x1234, address=0x0063)
+
+
+class _FakeRadio:
+    """Just enough of LowLevelRadio to push a capture into the receiver."""
+
+    whitening_enabled = False
+    whitening_channel = 0
+
+    def __init__(self):
+        self.armed = None
+
+    def set_data_rate_2m(self):
+        pass
+
+    def set_frequency(self, hz):
+        pass
+
+    def set_access_address(self, aa):
+        pass
+
+    def set_crc_enabled(self, enabled):
+        pass
+
+    def set_whitening(self, enabled):
+        pass
+
+    def arm_receiver(self, num_bits, callback):
+        self.armed = callback
+
+    def disarm_receiver(self):
+        self.armed = None
+
+
+def _capture(psdu: bytes) -> np.ndarray:
+    """Post-Access-Address bit capture carrying *psdu*."""
+    return frame_to_msk_bits(psdu)[32:]
+
+
+def _valid_psdu() -> bytes:
+    return build_data(SRC, DST, b"routing", sequence_number=7).to_bytes()
+
+
+def _corrupt_psdu() -> bytes:
+    psdu = bytearray(_valid_psdu())
+    psdu[-1] ^= 0xFF  # break only the FCS
+    return bytes(psdu)
+
+
+class TestReceiverRouting:
+    def test_corrupt_frame_never_reaches_main_handler(self):
+        radio = _FakeRadio()
+        receiver = WazaBeeReceiver(radio)
+        frames, corrupt = [], []
+        receiver.start(14, frames.append, corrupt_handler=corrupt.append)
+        radio.armed(_capture(_corrupt_psdu()))
+        assert frames == []
+        assert len(corrupt) == 1
+        assert not corrupt[0].fcs_ok
+
+    def test_valid_frame_never_reaches_corrupt_handler(self):
+        radio = _FakeRadio()
+        receiver = WazaBeeReceiver(radio)
+        frames, corrupt = [], []
+        receiver.start(14, frames.append, corrupt_handler=corrupt.append)
+        radio.armed(_capture(_valid_psdu()))
+        assert corrupt == []
+        assert len(frames) == 1
+        assert frames[0].fcs_ok
+
+    def test_each_frame_delivered_exactly_once(self):
+        radio = _FakeRadio()
+        receiver = WazaBeeReceiver(radio)
+        deliveries = []
+        receiver.start(
+            14,
+            lambda f: deliveries.append(("main", f.fcs_ok)),
+            corrupt_handler=lambda f: deliveries.append(("corrupt", f.fcs_ok)),
+        )
+        radio.armed(_capture(_valid_psdu()))
+        radio.armed(_capture(_corrupt_psdu()))
+        assert deliveries == [("main", True), ("corrupt", False)]
+
+    def test_corrupt_drop_counter_without_handler(self):
+        radio = _FakeRadio()
+        receiver = WazaBeeReceiver(radio)
+        frames = []
+        receiver.start(14, frames.append)
+        radio.armed(_capture(_corrupt_psdu()))
+        assert frames == []
+        assert receiver.corrupt_drops == 1
+
+
+class TestFirmwareRouting:
+    """The firmware funnels both routes into its raw stream; the MAC-level
+    sniffer handler still only sees FCS-valid frames."""
+
+    def _firmware(self):
+        return WazaBeeFirmware(_FakeRadio(), Scheduler())
+
+    def test_sniffer_handler_never_sees_fcs_failures(self):
+        firmware = self._firmware()
+        mac_frames = []
+        firmware.start_sniffer(14, lambda frame, d: mac_frames.append(d))
+        firmware.radio.armed(_capture(_corrupt_psdu()))
+        firmware.radio.armed(_capture(_valid_psdu()))
+        assert len(mac_frames) == 1 and mac_frames[0].fcs_ok
+
+    def test_raw_stream_keeps_corrupted_frames(self):
+        firmware = self._firmware()
+        firmware.start_sniffer(14, lambda frame, d: None)
+        firmware.radio.armed(_capture(_corrupt_psdu()))
+        firmware.radio.armed(_capture(_valid_psdu()))
+        assert firmware.raw_frames_seen == 2
+        assert sorted(d.fcs_ok for d in firmware.raw_frames) == [False, True]

@@ -114,3 +114,58 @@ class TestCorrespondenceTable:
             block[rng.choice(31, size=num_flips, replace=False)] ^= 1
         decoded, _ = table.decode_block(block)
         assert decoded == symbol
+
+
+class TestDecodeBlocksVectorised:
+    """The vectorised decoder must be bit-exact with the scalar reference."""
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=31, max_size=31),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    def test_matches_scalar_on_random_blocks(self, rows):
+        table = default_table()
+        blocks = np.array(rows, dtype=np.uint8)
+        symbols, distances = table.decode_blocks(blocks)
+        for row, symbol, distance in zip(blocks, symbols, distances):
+            ref_symbol, ref_distance = table.decode_block(row)
+            assert (int(symbol), int(distance)) == (ref_symbol, ref_distance)
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(1, 40),
+        st.floats(0.0, 0.5),
+    )
+    def test_matches_scalar_on_noisy_codewords(self, seed, count, flip_p):
+        """Table rows plus random chip noise — the shape of real captures,
+        including ambiguous blocks where tie-breaking must agree."""
+        table = default_table()
+        rng = np.random.default_rng(seed)
+        clean = table.matrix[rng.integers(0, 16, size=count)]
+        noisy = clean ^ (rng.random(clean.shape) < flip_p).astype(np.uint8)
+        symbols, distances = table.decode_blocks(noisy)
+        for row, symbol, distance in zip(noisy, symbols, distances):
+            ref_symbol, ref_distance = table.decode_block(row)
+            assert (int(symbol), int(distance)) == (ref_symbol, ref_distance)
+
+    def test_exact_codewords_roundtrip(self):
+        table = default_table()
+        symbols, distances = table.decode_blocks(table.matrix)
+        assert symbols.tolist() == list(range(16))
+        assert distances.tolist() == [0] * 16
+
+    def test_rejects_wrong_shape(self):
+        table = default_table()
+        with pytest.raises(ValueError):
+            table.decode_blocks(np.zeros((4, 30), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            table.decode_blocks(np.zeros(31, dtype=np.uint8))
+
+    def test_empty_capture(self):
+        symbols, distances = default_table().decode_blocks(
+            np.zeros((0, 31), dtype=np.uint8)
+        )
+        assert symbols.size == 0 and distances.size == 0

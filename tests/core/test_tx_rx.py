@@ -147,7 +147,22 @@ class TestReceiverOnRadio:
 
     def test_corrupted_fcs_reported(self, nrf, zigbee, scheduler):
         """A frame whose PSDU carries a broken FCS decodes with fcs_ok
-        False — Table III's 'corrupted' bucket."""
+        False — Table III's 'corrupted' bucket — and is routed to the
+        corrupt handler, never the main one."""
+        rx = WazaBeeReceiver(nrf)
+        got, corrupt = [], []
+        rx.start(14, got.append, corrupt_handler=corrupt.append)
+        psdu = bytearray(build_data(DST, SRC, b"x", sequence_number=1).to_bytes())
+        psdu[-1] ^= 0xFF
+        zigbee.transmit_psdu(bytes(psdu))
+        scheduler.run(0.01)
+        assert got == []
+        assert len(corrupt) == 1
+        assert not corrupt[0].fcs_ok
+
+    def test_corrupted_dropped_without_corrupt_handler(
+        self, nrf, zigbee, scheduler
+    ):
         rx = WazaBeeReceiver(nrf)
         got = []
         rx.start(14, got.append)
@@ -155,5 +170,5 @@ class TestReceiverOnRadio:
         psdu[-1] ^= 0xFF
         zigbee.transmit_psdu(bytes(psdu))
         scheduler.run(0.01)
-        assert len(got) == 1
-        assert not got[0].fcs_ok
+        assert got == []
+        assert rx.corrupt_drops == 1

@@ -67,6 +67,42 @@ class TestCells:
         assert (a.valid, a.corrupted, a.lost) == (b.valid, b.corrupted, b.lost)
 
 
+def _flatten(result: Table3Result):
+    return {
+        (chip, primitive, channel): (cell.valid, cell.corrupted, cell.lost)
+        for (chip, primitive), rows in result.cells.items()
+        for channel, cell in rows.items()
+    }
+
+
+class TestParallelRun:
+    KWARGS = dict(
+        frames=4,
+        channels=(11, 17),
+        chips=("nRF52832",),
+        primitives=("rx", "tx"),
+        seed=3,
+    )
+
+    def test_parallel_matches_serial_exactly(self):
+        """Every cell is independently seeded via crc32(chip/primitive/
+        channel), so the process fan-out must be bit-identical."""
+        serial = run_table3(**self.KWARGS, workers=1)
+        parallel = run_table3(**self.KWARGS, workers=2)
+        assert _flatten(serial) == _flatten(parallel)
+        assert serial.frames_per_cell == parallel.frames_per_cell
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            run_table3(**self.KWARGS, workers=0)
+
+    def test_cli_exposes_workers(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["table3", "--workers", "4"])
+        assert args.workers == 4
+
+
 class TestFullRun:
     def test_subset_run_structure(self):
         result = run_table3(

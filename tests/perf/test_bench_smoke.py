@@ -1,0 +1,81 @@
+"""Smoke tests for the perf-bench suite (so it can't rot).
+
+Runs every microbenchmark at quick-workload size, validates the
+``BENCH_PR2.json`` schema, and enforces the PR's acceptance floor: the
+vectorised decoder must be at least 5x the scalar reference.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def quick_records():
+    sys.path.insert(0, str(REPO_ROOT))
+    try:
+        from benchmarks.perf import run_suite
+
+        return run_suite(quick=True)
+    finally:
+        sys.path.remove(str(REPO_ROOT))
+
+
+class TestSuite:
+    def test_all_benchmarks_present(self, quick_records):
+        names = {record.name for record in quick_records}
+        assert names == {
+            "decode_throughput_vectorised",
+            "compose_capture_latency",
+            "table3_cell_wall_clock",
+        }
+
+    def test_values_positive(self, quick_records):
+        assert all(record.value > 0 for record in quick_records)
+        assert all(record.repeats >= 1 for record in quick_records)
+
+    def test_decode_speedup_floor(self, quick_records):
+        """Acceptance: vectorised decode ≥5x the scalar reference."""
+        decode = next(
+            r for r in quick_records if r.name == "decode_throughput_vectorised"
+        )
+        assert decode.extra["speedup_vs_scalar"] >= 5.0
+
+    def test_report_schema(self, quick_records, tmp_path):
+        sys.path.insert(0, str(REPO_ROOT))
+        try:
+            from benchmarks.perf import write_report
+        finally:
+            sys.path.remove(str(REPO_ROOT))
+        path = tmp_path / "BENCH_PR2.json"
+        report = write_report(quick_records, str(path), quick=True)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == report
+        assert on_disk["schema"] == "wazabee-bench/1"
+        assert on_disk["suite"] == "BENCH_PR2"
+        assert on_disk["quick"] is True
+        for body in on_disk["benchmarks"].values():
+            assert set(body) == {"metric", "value", "repeats", "extra"}
+
+
+class TestCliEntryPoint:
+    def test_module_invocation_writes_report(self, tmp_path):
+        out = tmp_path / "BENCH_PR2.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}:{REPO_ROOT}"
+        result = subprocess.run(
+            [sys.executable, "-m", "benchmarks.perf", "--quick", "--output", str(out)],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert out.exists()
+        assert "wrote" in result.stdout

@@ -69,3 +69,32 @@ class TestEngineBehaviour:
     def test_deterministic(self, data):
         engine = CrcEngine(width=16, polynomial=0x1021)
         assert engine.compute(data) == engine.compute(data)
+
+
+class TestTableDrivenFastPath:
+    """compute() is table-driven; compute_bits() is the serial reference."""
+
+    ENGINES = [
+        CrcEngine(16, 0x1021),  # 802.15.4 ITU-T FCS
+        CrcEngine(24, 0x00065B, init=0x555555),  # BLE advertising CRC
+        CrcEngine(16, 0x1021, init=0xFFFF, reflect_output=True, xor_out=0xAA55),
+        CrcEngine(8, 0x07),
+    ]
+
+    @given(st.binary(max_size=48), st.integers(0, 3))
+    def test_matches_bit_serial_reference(self, data, engine_index):
+        from repro.utils.bits import bytes_to_bits
+
+        engine = self.ENGINES[engine_index]
+        assert engine.compute(data) == engine.compute_bits(
+            bytes_to_bits(data, order="lsb")
+        )
+
+    def test_sub_byte_width_falls_back_to_serial(self):
+        from repro.utils.bits import bytes_to_bits
+
+        engine = CrcEngine(7, 0x09)
+        assert engine._table is None
+        assert engine.compute(b"abc") == engine.compute_bits(
+            bytes_to_bits(b"abc", order="lsb")
+        )

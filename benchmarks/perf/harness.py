@@ -85,15 +85,24 @@ def run_suite(quick: bool = False) -> List[BenchRecord]:
 
 
 def write_report(
-    records: List[BenchRecord], path: str, quick: bool = False
+    records: List[BenchRecord],
+    path: str,
+    quick: bool = False,
+    metrics: Optional[Dict] = None,
 ) -> Dict:
-    """Serialise *records* to *path* in the ``wazabee-bench/1`` schema."""
+    """Serialise *records* to *path* in the ``wazabee-bench/1`` schema.
+
+    *metrics*, when given, is the observability registry snapshot taken
+    around the suite run; it lands in a top-level ``metrics`` block (the
+    per-bench bodies keep their exact four-key shape).
+    """
     report = {
         "schema": SCHEMA,
         "suite": SUITE,
         "quick": quick,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "metrics": metrics or {},
         "benchmarks": {
             record.name: {
                 "metric": record.metric,
@@ -128,12 +137,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="BENCH_PR2.json",
         help="report path (default: ./BENCH_PR2.json)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="additionally run one traced Table III cell (smoke size) and "
+        "write its trace to FILE as JSON Lines",
+    )
     args = parser.parse_args(argv)
-    records = run_suite(quick=args.quick)
-    report = write_report(records, args.output, quick=args.quick)
+    from repro.obs import scoped
+
+    # Scope the suite so the report's metrics block reflects only this run;
+    # Table III cells open their own nested scopes and stay self-contained.
+    with scoped() as (_bus, registry):
+        records = run_suite(quick=args.quick)
+        metrics = registry.snapshot()
+    report = write_report(
+        records, args.output, quick=args.quick, metrics=metrics
+    )
     for name, body in sorted(report["benchmarks"].items()):
         print(f"{name:40s} {body['value']:>14.3f} {body['metric']}")
     print(f"wrote {args.output}")
+    if args.trace is not None:
+        from repro.experiments.table3 import run_table3_cell
+        from repro.obs import write_events_jsonl
+
+        cell = run_table3_cell(
+            "nRF52832", "rx", channel=14, frames=5, seed=1, collect_trace=True
+        )
+        write_events_jsonl(cell.trace_events, args.trace)
+        print(f"trace: {len(cell.trace_events)} events -> {args.trace}")
     return 0
 
 

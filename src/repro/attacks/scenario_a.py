@@ -33,6 +33,9 @@ from repro.chips.smartphone import AdvertisingEvent, SmartphoneBle
 from repro.core.channel_map import ble_channel_for_zigbee
 from repro.core.encoding import frame_to_msk_bits
 from repro.dot15d4.frames import MacFrame
+from repro.obs import ATTACK_STAGE
+from repro.obs import metrics as _current_metrics
+from repro.obs import trace_bus as _current_bus
 from repro.utils.bits import pack_bits
 
 __all__ = ["forge_advertising_data", "SmartphoneInjectionAttack"]
@@ -107,6 +110,8 @@ class SmartphoneInjectionAttack:
             frame.to_bytes(), ble_channel, company_id=company_id
         )
         self.records: List[InjectionRecord] = []
+        self.trace = _current_bus()
+        self.metrics = _current_metrics()
         self._sequence = frame.sequence_number
         self._target_hits: Optional[int] = None
         self._max_events = 0
@@ -115,8 +120,27 @@ class SmartphoneInjectionAttack:
         ] = None
         self._bounded_done = False
 
+    def _now(self) -> float:
+        return getattr(getattr(self.phone, "_scheduler", None), "now", 0.0)
+
+    def _stage(self, stage: str, **fields) -> None:
+        self.metrics.counter(f"attack.a.stage.{stage}").inc()
+        if self.trace.active:
+            self.trace.emit(
+                ATTACK_STAGE,
+                time=self._now(),
+                scenario="smartphone-injection",
+                stage=stage,
+                **fields,
+            )
+
     def start(self, interval_s: float = 0.1) -> None:
         """Begin advertising; each event is recorded with its CSA#2 draw."""
+        self._stage(
+            "advertising",
+            zigbee_channel=self.zigbee_channel,
+            ble_channel=self.ble_channel,
+        )
         self.phone.start_extended_advertising(
             self.adv_data,
             interval_s=interval_s,
@@ -158,16 +182,22 @@ class SmartphoneInjectionAttack:
             return
         self._bounded_done = True
         self.stop()
+        self._stage(
+            "done" if success else "exhausted",
+            events_total=self.events_total,
+            events_on_target=self.events_on_target,
+        )
         if self._bounded_on_complete is not None:
             self._bounded_on_complete(self, success)
 
     def _on_event(self, event: AdvertisingEvent) -> None:
+        on_target = event.secondary_channel == self.ble_channel
         self.records.append(
-            InjectionRecord(
-                event=event,
-                on_target_channel=event.secondary_channel == self.ble_channel,
-            )
+            InjectionRecord(event=event, on_target_channel=on_target)
         )
+        self.metrics.counter("attack.a.events").inc()
+        if on_target:
+            self.metrics.counter("attack.a.events.on_target").inc()
         if self._target_hits is not None and not self._bounded_done:
             if self.events_on_target >= self._target_hits:
                 self._finish_bounded(True)

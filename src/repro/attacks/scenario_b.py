@@ -34,6 +34,9 @@ from repro.core.firmware import ReliableSendResult, ScanResult, WazaBeeFirmware
 from repro.core.rx import DecodedFrame
 from repro.dot15d4.channels import ZIGBEE_CHANNELS
 from repro.dot15d4.frames import Address, FrameType, MacFrame, build_data
+from repro.obs import ATTACK_STAGE
+from repro.obs import metrics as _current_metrics
+from repro.obs import trace_bus as _current_bus
 from repro.radio.scheduler import EventHandle
 from repro.zigbee.xbee import AtCommand, RemoteAtCommand, SensorReading
 
@@ -117,6 +120,8 @@ class TrackerAttack:
         self.spoof_max_attempts = spoof_max_attempts
 
         self.phase = AttackPhase.IDLE
+        self.trace = _current_bus()
+        self.metrics = _current_metrics()
         self.log: List[AttackLogEntry] = []
         self.network: Optional[ScanResult] = None
         self.sensor_address: Optional[Address] = None
@@ -158,6 +163,15 @@ class TrackerAttack:
         self.phase = phase
         self._stage_started_at = self.scheduler.now
         self.stage_attempts.setdefault(phase, 0)
+        self.metrics.counter(f"attack.b.stage.{phase.value}").inc()
+        if self.trace.active:
+            self.trace.emit(
+                ATTACK_STAGE,
+                time=self.scheduler.now,
+                scenario="tracker",
+                stage=phase.value,
+                message=message,
+            )
         self._log(message)
 
     def _stage_backoff(self, attempt: int) -> float:

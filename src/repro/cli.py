@@ -20,6 +20,21 @@ from typing import List, Optional
 __all__ = ["main", "build_parser"]
 
 
+def _add_obs_args(sub: argparse.ArgumentParser) -> None:
+    """Observability flags shared by every simulation-running command."""
+    sub.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write the run's trace events to FILE as JSON Lines",
+    )
+    sub.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's metrics block after the results",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -62,11 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under a named fault-injection profile "
         "(clean, dropout, drifting, flaky-rx, harsh, jammer)",
     )
+    _add_obs_args(t3)
 
     sa = sub.add_parser("scenario-a", help="smartphone injection (Figure 4)")
     sa.add_argument("--duration", type=float, default=60.0, help="simulated seconds")
     sa.add_argument("--channel", type=int, default=14, help="target Zigbee channel")
     sa.add_argument("--seed", type=int, default=7)
+    _add_obs_args(sa)
 
     sb = sub.add_parser("scenario-b", help="tracker attack chain (Figure 5)")
     sb.add_argument("--duration", type=float, default=40.0)
@@ -77,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable AES-CCM* on the target network (the §VII counter-measure)",
     )
+    _add_obs_args(sb)
 
     sim = sub.add_parser("similarity", help="modulation similarity matrix")
     sim.add_argument("--snr", type=float, default=None, help="AWGN SNR in dB")
@@ -133,38 +151,77 @@ def _cmd_table3(args) -> int:
         seed=args.seed,
         fault_profile=args.chaos,
         workers=args.workers,
+        collect_trace=args.trace is not None,
     )
     if args.chaos is not None:
         print(f"chaos profile: {args.chaos}")
     print(format_table3(result))
+    if args.trace is not None:
+        from repro.obs import write_events_jsonl
+
+        events = []
+        for (chip, primitive), rows in sorted(result.cells.items()):
+            for channel in sorted(rows):
+                cell_id = f"{chip}/{primitive}/{channel}"
+                for event in rows[channel].trace_events:
+                    events.append({**event, "cell": cell_id})
+        write_events_jsonl(events, args.trace)
+        print(f"trace: {len(events)} events -> {args.trace}")
+    if args.metrics:
+        for (chip, primitive), rows in sorted(result.cells.items()):
+            for channel in sorted(rows):
+                print(f"[metrics {chip}/{primitive}/ch{channel}]")
+                for name, value in rows[channel].metrics.items():
+                    print(f"  {name} = {value}")
     return 0
+
+
+def _finish_obs(args, registry, recorder) -> None:
+    """Write the trace file and print the metrics block, as requested."""
+    if recorder is not None:
+        from repro.obs import write_events_jsonl
+
+        write_events_jsonl(recorder.as_dicts(), args.trace)
+        print(f"trace: {len(recorder.events)} events -> {args.trace}")
+    if args.metrics:
+        print("[metrics]")
+        print(registry.format())
 
 
 def _cmd_scenario_a(args) -> int:
     from repro.experiments.scenarios import run_scenario_a
+    from repro.obs import TraceRecorder, scoped
 
-    result = run_scenario_a(
-        duration_s=args.duration, zigbee_channel=args.channel, seed=args.seed
-    )
-    print(f"advertising events:        {result.events_total}")
-    print(
-        f"events on target channel:  {result.events_on_target} "
-        f"(hit rate {result.hit_rate:.4f}, CSA#2 expectation 0.0270)"
-    )
-    print(f"forged readings displayed: {result.injected_received}")
+    # The scope opens before the scenario constructs its testbed, so every
+    # component binds the command's private bus/registry pair.
+    with scoped() as (bus, registry):
+        recorder = TraceRecorder(bus) if args.trace is not None else None
+        result = run_scenario_a(
+            duration_s=args.duration, zigbee_channel=args.channel, seed=args.seed
+        )
+        print(f"advertising events:        {result.events_total}")
+        print(
+            f"events on target channel:  {result.events_on_target} "
+            f"(hit rate {result.hit_rate:.4f}, CSA#2 expectation 0.0270)"
+        )
+        print(f"forged readings displayed: {result.injected_received}")
+        _finish_obs(args, registry, recorder)
     return 0 if result.injected_received else 1
 
 
 def _cmd_scenario_b(args) -> int:
     from repro.attacks.scenario_b import AttackPhase
     from repro.experiments.scenarios import run_scenario_b
+    from repro.obs import TraceRecorder, scoped
 
-    result = run_scenario_b(
-        duration_s=args.duration,
-        dos_channel=args.dos_channel,
-        seed=args.seed,
-        security_key=bytes(range(16)) if args.secure else None,
-    )
+    with scoped() as (bus, registry):
+        recorder = TraceRecorder(bus) if args.trace is not None else None
+        result = run_scenario_b(
+            duration_s=args.duration,
+            dos_channel=args.dos_channel,
+            seed=args.seed,
+            security_key=bytes(range(16)) if args.secure else None,
+        )
     for line in result.log:
         print(line)
     print(f"final phase:          {result.final_phase.value}")
@@ -173,6 +230,7 @@ def _cmd_scenario_b(args) -> int:
         f"display entries:      {result.legitimate_entries} legitimate, "
         f"{result.spoofed_entries} spoofed"
     )
+    _finish_obs(args, registry, recorder)
     attack_succeeded = (
         result.final_phase is AttackPhase.DONE
         and result.sensor_channel_after == args.dos_channel

@@ -17,6 +17,9 @@ from repro.core.radio_api import LowLevelRadio
 from repro.core.rx import DecodedFrame, WazaBeeReceiver
 from repro.core.tx import WazaBeeTransmitter
 from repro.dot15d4.frames import FrameType, MacFrame, build_beacon_request
+from repro.obs import MAC_RETRY
+from repro.obs import metrics as _current_metrics
+from repro.obs import trace_bus as _current_bus
 from repro.radio.scheduler import Scheduler
 
 __all__ = ["RAW_FRAME_CAP", "ScanResult", "ReliableSendResult", "WazaBeeFirmware"]
@@ -65,9 +68,14 @@ class WazaBeeFirmware:
         self.scan_results: List[ScanResult] = []
         #: Ring buffer of the most recent decodes (valid *and* corrupted).
         self.raw_frames: Deque[DecodedFrame] = deque(maxlen=RAW_FRAME_CAP)
-        #: Monotonic count of every frame ever decoded, unaffected by the
-        #: ring buffer evicting old entries.
+        #: Monotonic count of every frame the firmware's handlers received
+        #: (valid *and* corrupted), unaffected by the ring buffer evicting
+        #: old entries.  Reconciles with the receiver's trace ledger as
+        #: ``rx.frames.valid_delivered + rx.frames.corrupt_delivered`` for
+        #: deliveries made while the sniffer was running.
         self.raw_frames_seen: int = 0
+        self.trace = _current_bus()
+        self.metrics = _current_metrics()
 
     # -- injection ----------------------------------------------------------
     def send_frame(self, frame: MacFrame, channel: int) -> None:
@@ -107,6 +115,11 @@ class WazaBeeFirmware:
             if state["timeout"] is not None:
                 state["timeout"].cancel()
             self.receiver.stop()
+            self.metrics.counter(
+                "firmware.reliable.delivered"
+                if delivered
+                else "firmware.reliable.undelivered"
+            ).inc()
             if on_result is not None:
                 on_result(
                     ReliableSendResult(
@@ -135,9 +148,20 @@ class WazaBeeFirmware:
             if state["done"]:
                 return
             if state["attempts"] >= max_attempts:
+                self.metrics.counter("firmware.reliable.exhausted").inc()
                 finish(False)
                 return
             state["attempts"] += 1
+            if state["attempts"] > 1:
+                self.metrics.counter("firmware.reliable.retries").inc()
+                if self.trace.active:
+                    self.trace.emit(
+                        MAC_RETRY,
+                        time=self.scheduler.now,
+                        source="firmware.reliable",
+                        sequence=seq,
+                        attempt=state["attempts"],
+                    )
             self.receiver.start(channel, on_ack)
             self.send_frame(frame, channel)
             state["timeout"] = self.scheduler.schedule(ack_wait_s, attempt)
@@ -175,6 +199,7 @@ class WazaBeeFirmware:
     def _on_frame(self, decoded: DecodedFrame) -> None:
         self.raw_frames.append(decoded)
         self.raw_frames_seen += 1
+        self.metrics.counter("firmware.raw_frames").inc()
         if self._raw_tap is not None:
             self._raw_tap(decoded)
         # fcs_ok re-check is defense-in-depth: the receiver already routes
@@ -185,7 +210,9 @@ class WazaBeeFirmware:
         try:
             frame = MacFrame.parse(decoded.psdu)
         except ValueError:
+            self.metrics.counter("firmware.mac_parse_failures").inc()
             return
+        self.metrics.counter("firmware.sniffed_frames").inc()
         self._sniffer_handler(frame, decoded)
 
     # -- active scan --------------------------------------------------------------

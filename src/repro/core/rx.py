@@ -30,6 +30,10 @@ from repro.core.tables import CorrespondenceTable, default_table
 from repro.dot15d4.channels import channel_frequency_hz
 from repro.dot15d4.fcs import verify_fcs
 from repro.errors import DecodeError
+from repro.obs import RX_CAPTURE, RX_DECODE, RX_FCS
+from repro.obs import metrics as _current_metrics
+from repro.obs import sim_now
+from repro.obs import trace_bus as _current_bus
 from repro.phy.ieee802154 import MAX_PSDU_SIZE, Ppdu
 
 __all__ = ["DecodedFrame", "decode_payload_bits", "WazaBeeReceiver"]
@@ -166,6 +170,8 @@ class WazaBeeReceiver:
         self._handler: Optional[FrameHandler] = None
         self._corrupt_handler: Optional[FrameHandler] = None
         self._channel: Optional[int] = None
+        self.trace = _current_bus()
+        self.metrics = _current_metrics()
 
     def start(
         self,
@@ -196,26 +202,78 @@ class WazaBeeReceiver:
     def _on_bits(self, bits: np.ndarray) -> None:
         if self._handler is None:
             return
+        now = sim_now(self.radio)
+        self.metrics.counter("rx.captures").inc()
+        if self.trace.active:
+            self.trace.emit(
+                RX_CAPTURE, time=now, bits=int(len(bits)), channel=self._channel
+            )
         if self.radio.whitening_enabled:
             # The radio de-whitened what was never whitened; undo it.
             bits = whiten(bits, self.radio.whitening_channel)
-        frame = decode_payload_bits(bits, table=self.table)
-        if frame is None:
+        try:
+            # Strict mode so the failure class (no-sfd / truncated) reaches
+            # the trace; the event-driven contract stays "drop and carry on".
+            with self.metrics.timer("rx.decode").time():
+                frame = decode_payload_bits(bits, table=self.table, strict=True)
+        except DecodeError as error:
+            self.metrics.counter("rx.decode.failed").inc()
+            self.metrics.counter(f"rx.decode.failed.{error.reason}").inc()
+            if self.trace.active:
+                self.trace.emit(
+                    RX_DECODE,
+                    time=now,
+                    outcome=error.reason,
+                    mean_distance=error.mean_distance,
+                    channel=self._channel,
+                )
             return
         if (
             self.max_mean_distance is not None
             and frame.mean_distance > self.max_mean_distance
         ):
             self.low_confidence_drops += 1
+            self.metrics.counter("rx.decode.failed").inc()
+            self.metrics.counter("rx.decode.failed.low-confidence").inc()
+            if self.trace.active:
+                self.trace.emit(
+                    RX_DECODE,
+                    time=now,
+                    outcome="low-confidence",
+                    mean_distance=frame.mean_distance,
+                    channel=self._channel,
+                )
             return
-        if not frame.fcs_ok:
+        self.metrics.counter("rx.decode.ok").inc()
+        if self.trace.active:
+            self.trace.emit(
+                RX_DECODE,
+                time=now,
+                outcome="ok",
+                mean_distance=frame.mean_distance,
+                channel=self._channel,
+            )
+            self.trace.emit(
+                RX_FCS,
+                time=now,
+                ok=frame.fcs_ok,
+                psdu_bytes=len(frame.psdu),
+                channel=self._channel,
+            )
+        if frame.fcs_ok:
+            self.metrics.counter("rx.fcs.ok").inc()
+        else:
+            self.metrics.counter("rx.fcs.fail").inc()
             # FCS-failed frames take the salvage path only; the main
             # handler's contract is "FCS-valid frames".
             if self._corrupt_handler is not None:
+                self.metrics.counter("rx.frames.corrupt_delivered").inc()
                 self._corrupt_handler(frame)
             else:
                 self.corrupt_drops += 1
+                self.metrics.counter("rx.drops.corrupt").inc()
             return
+        self.metrics.counter("rx.frames.valid_delivered").inc()
         self._handler(frame)
 
     @property

@@ -21,6 +21,10 @@ from repro.core.encoding import frame_to_msk_bits, wazabee_access_address
 from repro.core.radio_api import LowLevelRadio
 from repro.dot15d4.channels import channel_frequency_hz
 from repro.dot15d4.frames import MacFrame
+from repro.obs import TX_FRAME
+from repro.obs import metrics as _current_metrics
+from repro.obs import sim_now
+from repro.obs import trace_bus as _current_bus
 
 __all__ = ["WazaBeeTransmitter"]
 
@@ -31,6 +35,8 @@ class WazaBeeTransmitter:
     def __init__(self, radio: LowLevelRadio):
         self.radio = radio
         self._configured_channel: Optional[int] = None
+        self.trace = _current_bus()
+        self.metrics = _current_metrics()
 
     def configure(self, zigbee_channel: int) -> None:
         """Apply the §IV-D radio configuration for a Zigbee channel.
@@ -63,13 +69,23 @@ class WazaBeeTransmitter:
         """Send a raw PSDU (FCS included) as an 802.15.4 frame."""
         if self._configured_channel is None:
             raise RuntimeError("call configure(zigbee_channel) first")
-        bits = frame_to_msk_bits(psdu)
+        with self.metrics.timer("tx.spread").time():
+            bits = frame_to_msk_bits(psdu)
         if self.radio.whitening_enabled:
             # Pre-de-whiten so the hardware whitener restores the raw
             # stream on air (whitening is XOR with a fixed per-channel
             # sequence, hence an involution).
             bits = whiten(bits, self.radio.whitening_channel)
         self.radio.send_raw_bits(bits)
+        self.metrics.counter("tx.frames").inc()
+        if self.trace.active:
+            self.trace.emit(
+                TX_FRAME,
+                time=sim_now(self.radio),
+                channel=self._configured_channel,
+                psdu_bytes=len(psdu),
+                bits=int(bits.size),
+            )
         return bits
 
     @property

@@ -39,6 +39,9 @@ from repro.dot15d4.frames import (
     build_data,
 )
 from repro.dot15d4.security import SecurityContext, SecurityError
+from repro.obs import MAC_RETRY
+from repro.obs import metrics as _current_metrics
+from repro.obs import trace_bus as _current_bus
 
 __all__ = ["MacService", "MacStats", "MacConfig"]
 
@@ -141,6 +144,8 @@ class MacService:
             (address.pan_id << 20) ^ address.address ^ 0xC5A3
         )
         self.stats = MacStats()
+        self.trace = _current_bus()
+        self.metrics = _current_metrics()
         self._sequence = 0
         self._seen: Dict[Tuple[int, int], int] = {}
         self._data_handler: Optional[FrameHandler] = None
@@ -256,11 +261,14 @@ class MacService:
             self._transmit_pending(pending)
             return
         self.stats.csma_backoffs += 1
+        self.metrics.counter("mac.csma_backoffs").inc()
         pending.nb += 1
         pending.be = min(pending.be + 1, self.config.max_be)
         if pending.nb > self.config.max_csma_backoffs:
             self.stats.channel_access_failures += 1
             self.stats.drops += 1
+            self.metrics.counter("mac.channel_access_failures").inc()
+            self.metrics.counter("mac.drops").inc()
             self._finish_pending(pending, delivered=False)
             return
         self._csma_attempt(pending)
@@ -285,14 +293,26 @@ class MacService:
         self._ack_wait_handle = None
         self._awaiting_seq = None
         self.stats.ack_timeouts += 1
+        self.metrics.counter("mac.ack_timeouts").inc()
         if pending.retries < self.config.max_frame_retries:
             pending.retries += 1
             self.stats.retries += 1
+            self.metrics.counter("mac.retries").inc()
+            if self.trace.active:
+                self.trace.emit(
+                    MAC_RETRY,
+                    time=self._scheduler.now,
+                    source="mac",
+                    node=str(self.address),
+                    sequence=pending.frame.sequence_number,
+                    attempt=pending.retries + 1,
+                )
             pending.nb = 0
             pending.be = self.config.min_be
             self._csma_attempt(pending)
             return
         self.stats.drops += 1
+        self.metrics.counter("mac.drops").inc()
         self._finish_pending(pending, delivered=False)
 
     def _on_matching_ack(self) -> None:
@@ -314,8 +334,10 @@ class MacService:
     # -- receiving -----------------------------------------------------------
     def _on_psdu(self, received) -> None:
         self.stats.received_frames += 1
+        self.metrics.counter("mac.received_frames").inc()
         if not received.fcs_ok:
             self.stats.fcs_failures += 1
+            self.metrics.counter("mac.fcs_failures").inc()
             return
         try:
             frame = MacFrame.parse(received.psdu)
@@ -405,6 +427,7 @@ class MacService:
         def send() -> None:
             self.radio.transmit_frame(build_ack(sequence_number))
             self.stats.acks_sent += 1
+            self.metrics.counter("mac.acks_sent").inc()
 
         self._scheduler.schedule(ACK_TURNAROUND_S, send)
 

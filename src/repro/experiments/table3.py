@@ -29,6 +29,7 @@ from repro.dot15d4.channels import ZIGBEE_CHANNELS
 from repro.dot15d4.frames import Address, build_data
 from repro.experiments.environment import Testbed, TestbedProfile, build_testbed
 from repro.faults import named_profile
+from repro.obs import TraceRecorder, scoped
 
 __all__ = [
     "CHIP_FACTORIES",
@@ -50,12 +51,21 @@ _DST = Address(pan_id=0x1234, address=0x0042)
 
 @dataclass
 class ChannelResult:
-    """One (chip, primitive, channel) cell of Table III."""
+    """One (chip, primitive, channel) cell of Table III.
+
+    *metrics* holds the cell's deterministic counter snapshot (no
+    wall-clock timers), taken from a registry scoped to the cell, so two
+    runs under the same seed produce identical blocks.  *trace_events* is
+    populated only when the cell ran with ``collect_trace=True``: the
+    cell's full trace, one flat dict per event, JSONL-ready.
+    """
 
     channel: int
     valid: int = 0
     corrupted: int = 0
     lost: int = 0
+    metrics: Dict[str, int] = field(default_factory=dict)
+    trace_events: List[Dict] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -97,11 +107,17 @@ def run_table3_cell(
     profile: Optional[TestbedProfile] = None,
     seed: int = 0,
     fault_profile: Optional[str] = None,
+    collect_trace: bool = False,
 ) -> ChannelResult:
     """Run one cell: *frames* transmissions of one primitive on one channel.
 
     *fault_profile* names a chaos profile from :mod:`repro.faults` — the
     degraded-channel variant of Table III, targeted at the cell's channel.
+
+    The cell runs inside its own observability scope: its counters land
+    in :attr:`ChannelResult.metrics`, and with *collect_trace* its trace
+    events (flat dicts, JSONL-ready) land in
+    :attr:`ChannelResult.trace_events`.
     """
     if chip_name not in CHIP_FACTORIES:
         raise ValueError(f"unknown chip {chip_name!r}")
@@ -112,59 +128,70 @@ def run_table3_cell(
         if fault_profile is not None
         else None
     )
-    testbed = build_testbed(
-        profile,
-        # crc32, not hash(): str hashes are randomised per process, which
-        # would make cells irreproducible across runs with the same seed.
-        seed=seed ^ crc32(f"{chip_name}/{primitive}/{channel}".encode()) & 0x7FFFFFFF,
-        fault_plan=fault_plan,
-    )
-    chip = CHIP_FACTORIES[chip_name](
-        testbed.medium,
-        position=testbed.attacker_position,
-        rng=testbed.device_rng(1),
-    )
-    reference = RzUsbStick(
-        testbed.medium,
-        position=testbed.reference_position,
-        rng=testbed.device_rng(2),
-    )
-    reference.set_channel(channel)
-    firmware = WazaBeeFirmware(chip, testbed.scheduler)
-    result = ChannelResult(channel=channel)
+    # The scope must open before any component is constructed: transmitters,
+    # receivers, the medium and the injector all bind the current bus and
+    # registry at construction time.
+    with scoped() as (bus, registry):
+        recorder = TraceRecorder(bus) if collect_trace else None
+        testbed = build_testbed(
+            profile,
+            # crc32, not hash(): str hashes are randomised per process, which
+            # would make cells irreproducible across runs with the same seed.
+            seed=seed
+            ^ crc32(f"{chip_name}/{primitive}/{channel}".encode()) & 0x7FFFFFFF,
+            fault_plan=fault_plan,
+        )
+        chip = CHIP_FACTORIES[chip_name](
+            testbed.medium,
+            position=testbed.attacker_position,
+            rng=testbed.device_rng(1),
+        )
+        reference = RzUsbStick(
+            testbed.medium,
+            position=testbed.reference_position,
+            rng=testbed.device_rng(2),
+        )
+        reference.set_channel(channel)
+        firmware = WazaBeeFirmware(chip, testbed.scheduler)
+        result = ChannelResult(channel=channel)
 
-    # Every reception relevant to the cell — FCS-valid *and* corrupted —
-    # lands here; classification reads this single tap.
-    received_tap: List[Tuple[bytes, bool]] = []
-    if primitive == "rx":
-        firmware.start_sniffer(
-            channel,
-            lambda _frame, _decoded: None,
-            raw_tap=lambda d: received_tap.append((d.psdu, d.fcs_ok)),
-        )
-        for i in range(frames):
-            received_tap.clear()
-            frame = _counter_frame(i)
-            reference.transmit_frame(frame)
-            testbed.scheduler.run(2e-3)
-            valid, corrupted = _classify(received_tap, frame.to_bytes())
-            _tally(result, valid, corrupted)
-        firmware.stop_sniffer()
-    else:
-        reference.start_rx(
-            lambda received: received_tap.append(
-                (received.psdu, received.fcs_ok)
+        # Every reception relevant to the cell — FCS-valid *and* corrupted —
+        # lands here; classification reads this single tap.
+        received_tap: List[Tuple[bytes, bool]] = []
+        if primitive == "rx":
+            firmware.start_sniffer(
+                channel,
+                lambda _frame, _decoded: None,
+                raw_tap=lambda d: received_tap.append((d.psdu, d.fcs_ok)),
             )
-        )
-        firmware.transmitter.configure(channel)
-        for i in range(frames):
-            received_tap.clear()
-            frame = _counter_frame(i)
-            firmware.transmitter.transmit(frame)
-            testbed.scheduler.run(2e-3)
-            valid, corrupted = _classify(received_tap, frame.to_bytes())
-            _tally(result, valid, corrupted)
-        reference.stop_rx()
+            for i in range(frames):
+                received_tap.clear()
+                frame = _counter_frame(i)
+                reference.transmit_frame(frame)
+                testbed.scheduler.run(2e-3)
+                valid, corrupted = _classify(received_tap, frame.to_bytes())
+                _tally(result, valid, corrupted)
+            firmware.stop_sniffer()
+        else:
+            reference.start_rx(
+                lambda received: received_tap.append(
+                    (received.psdu, received.fcs_ok)
+                )
+            )
+            firmware.transmitter.configure(channel)
+            for i in range(frames):
+                received_tap.clear()
+                frame = _counter_frame(i)
+                firmware.transmitter.transmit(frame)
+                testbed.scheduler.run(2e-3)
+                valid, corrupted = _classify(received_tap, frame.to_bytes())
+                _tally(result, valid, corrupted)
+            reference.stop_rx()
+        # Counters only: timers carry wall-clock noise, which would make
+        # per-cell metric blocks differ between identical runs.
+        result.metrics = registry.counter_values()
+        if recorder is not None:
+            result.trace_events = recorder.as_dicts()
     return result
 
 
@@ -212,6 +239,7 @@ def run_table3(
     seed: int = 0,
     fault_profile: Optional[str] = None,
     workers: int = 1,
+    collect_trace: bool = False,
 ) -> Table3Result:
     """Regenerate Table III (or a subset of it).
 
@@ -219,6 +247,10 @@ def run_table3(
     fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Each
     cell derives its testbed seed from ``crc32(chip/primitive/channel)``,
     so the parallel run is bit-identical to the serial one — only faster.
+
+    With *collect_trace*, every cell records its trace in-process (scoped
+    per cell, so parallel workers cannot interleave) and returns the
+    events on :attr:`ChannelResult.trace_events` as picklable flat dicts.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -238,6 +270,7 @@ def run_table3(
             profile=profile,
             seed=seed,
             fault_profile=fault_profile,
+            collect_trace=collect_trace,
         )
         for chip, primitive, channel in grid
     ]

@@ -28,6 +28,9 @@ import numpy as np
 from repro.dsp.impairments import apply_frequency_offset
 from repro.dsp.signal import IQSignal
 from repro.faults.plan import FaultPlan
+from repro.obs import FAULT_INJECTED
+from repro.obs import metrics as _current_metrics
+from repro.obs import trace_bus as _current_bus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.radio.medium import RfMedium, Transmission
@@ -91,6 +94,15 @@ class FaultInjector:
         self.medium: Optional["RfMedium"] = None
         self._delivery_counter = 0
         self._capture_counter = 0
+        self.trace = _current_bus()
+        self.metrics = _current_metrics()
+
+    def _record(self, kind: str, **fields) -> None:
+        """Count one applied impairment and trace it when anyone listens."""
+        self.metrics.counter(f"fault.{kind}").inc()
+        if self.trace.active:
+            now = self.medium.scheduler.now if self.medium is not None else 0.0
+            self.trace.emit(FAULT_INJECTED, time=now, kind=kind, **fields)
 
     # -- installation --------------------------------------------------------
     def install(self, medium: "RfMedium") -> None:
@@ -120,6 +132,9 @@ class FaultInjector:
         signal = IQSignal(samples, self.medium.sample_rate, burst.center_hz)
         self.medium.transmit(source, signal, burst.power_dbm)
         self.stats.bursts_injected += 1
+        self._record(
+            "burst", source=source.name, center_hz=burst.center_hz
+        )
 
     # -- delivery fate -------------------------------------------------------
     def delivery_count(self, radio: "Transceiver", tx: "Transmission") -> int:
@@ -128,10 +143,12 @@ class FaultInjector:
         for window in self.plan.dropouts:
             if window.covers(tx.end_time, radio.name):
                 self.stats.deliveries_dropped += 1
+                self._record("delivery_drop", rx=radio.name, tx_id=tx.identifier)
                 return 0
         dup = self.plan.duplication
         if dup is not None and self._delivery_counter % dup.every_nth == 0:
             self.stats.deliveries_duplicated += 1
+            self._record("delivery_duplicate", rx=radio.name, tx_id=tx.identifier)
             return 2
         return 1
 

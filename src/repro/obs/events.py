@@ -1,0 +1,88 @@
+"""Typed trace events.
+
+One :class:`TraceEvent` is one thing that happened somewhere in the stack,
+stamped with *simulated* time (the scheduler clock) so a trace is fully
+deterministic under a fixed seed — wall-clock never enters an event.  The
+event vocabulary is deliberately small and layer-shaped: a frame's life is
+``tx.frame → medium.delivery → rx.capture → rx.decode → rx.fcs``, with
+``mac.retry``, ``fault.injected`` and ``attack.stage`` annotating the
+link-layer, chaos and workflow dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = [
+    "TraceEvent",
+    "TX_FRAME",
+    "MEDIUM_DELIVERY",
+    "RX_CAPTURE",
+    "RX_DECODE",
+    "RX_FCS",
+    "MAC_RETRY",
+    "FAULT_INJECTED",
+    "ATTACK_STAGE",
+    "EVENT_NAMES",
+]
+
+#: A WazaBee/802.15.4 frame handed to a diverted radio for transmission.
+TX_FRAME = "tx.frame"
+#: The medium decided the fate of one scheduled delivery (scheduled,
+#: delivered, suppressed by a fault, duplicated, or skipped at delivery
+#: time because the receiver re-tuned / stopped listening).
+MEDIUM_DELIVERY = "medium.delivery"
+#: A receiver's sync correlator fired and produced a raw bit capture.
+RX_CAPTURE = "rx.capture"
+#: One capture's decode outcome (ok / no-sfd / truncated / low-confidence).
+RX_DECODE = "rx.decode"
+#: FCS verdict for a successfully decoded frame.
+RX_FCS = "rx.fcs"
+#: A link-layer retransmission (MAC ACK-timeout retry or firmware
+#: reliable-send re-attempt).
+MAC_RETRY = "mac.retry"
+#: The fault injector applied one impairment.
+FAULT_INJECTED = "fault.injected"
+#: An attack workflow changed stage.
+ATTACK_STAGE = "attack.stage"
+
+#: The closed vocabulary — JSONL consumers and the ledger tests key on it.
+EVENT_NAMES = frozenset(
+    {
+        TX_FRAME,
+        MEDIUM_DELIVERY,
+        RX_CAPTURE,
+        RX_DECODE,
+        RX_FCS,
+        MAC_RETRY,
+        FAULT_INJECTED,
+        ATTACK_STAGE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    ``seq`` is the bus's emission counter — a total order over the trace
+    that is deterministic under a fixed seed (the discrete-event scheduler
+    fires callbacks in a reproducible order).  ``time`` is simulated
+    seconds, 0.0 where a component has no scheduler in reach.
+    """
+
+    seq: int
+    time: float
+    name: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON-serialisable form (the JSONL line layout)."""
+        record: Dict[str, Any] = {
+            "seq": self.seq,
+            "time": self.time,
+            "event": self.name,
+        }
+        record.update(self.fields)
+        return record

@@ -21,6 +21,9 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dsp.signal import IQSignal
+from repro.obs import MEDIUM_DELIVERY
+from repro.obs import metrics as _current_metrics
+from repro.obs import trace_bus as _current_bus
 from repro.radio.interference import WifiInterferer
 from repro.radio.scheduler import Scheduler
 
@@ -108,6 +111,10 @@ class RfMedium:
         self.scheduler = scheduler
         self.sample_rate = sample_rate
         self.noise_floor_dbm = noise_floor_dbm
+        # Observability: bind to the bus/registry scoped at construction
+        # time, so one experiment cell traces only its own medium.
+        self.trace = _current_bus()
+        self.metrics = _current_metrics()
         self.propagation = propagation or PropagationModel()
         self.interferers = list(interferers)
         self.seed = seed
@@ -169,6 +176,7 @@ class RfMedium:
         )
         self._next_id += 1
         self._transmissions.append(tx)
+        self.metrics.counter("medium.transmissions").inc()
         for radio in self._radios:
             if radio is source:
                 continue
@@ -179,9 +187,30 @@ class RfMedium:
             deliveries = 1
             if self.fault_injector is not None:
                 deliveries = self.fault_injector.delivery_count(radio, tx)
+            if deliveries == 0:
+                self.metrics.counter("medium.deliveries.suppressed").inc()
+                self._trace_delivery(radio, tx, "suppressed")
+                continue
+            if deliveries > 1:
+                self.metrics.counter("medium.deliveries.duplicated").inc()
             for _ in range(deliveries):
+                self.metrics.counter("medium.deliveries.scheduled").inc()
+                self._trace_delivery(radio, tx, "scheduled")
                 self._schedule_delivery(radio, tx)
         return tx
+
+    def _trace_delivery(
+        self, radio: "Transceiver", tx: Transmission, status: str
+    ) -> None:
+        if self.trace.active:
+            self.trace.emit(
+                MEDIUM_DELIVERY,
+                time=self.scheduler.now,
+                status=status,
+                rx=radio.name,
+                tx=getattr(tx.source, "name", "?"),
+                tx_id=tx.identifier,
+            )
 
     def _in_band(self, radio: "Transceiver", center_frequency: float) -> bool:
         limit = radio.bandwidth_hz / 2.0 + self.DELIVERY_MARGIN_HZ
@@ -191,9 +220,11 @@ class RfMedium:
         def deliver() -> None:
             # Re-check state at delivery time: the radio may have re-tuned
             # or stopped listening while the frame was in flight.
-            if not radio.is_listening:
-                return
-            if not self._in_band(radio, tx.signal.center_frequency):
+            if not radio.is_listening or not self._in_band(
+                radio, tx.signal.center_frequency
+            ):
+                self.metrics.counter("medium.deliveries.skipped").inc()
+                self._trace_delivery(radio, tx, "skipped")
                 return
             start = tx.start_time - self.capture_margin_s
             end = tx.end_time + self.capture_margin_s
@@ -202,6 +233,8 @@ class RfMedium:
                 capture = self.fault_injector.transform_capture(
                     radio, capture, start
                 )
+            self.metrics.counter("medium.deliveries.delivered").inc()
+            self._trace_delivery(radio, tx, "delivered")
             radio.handle_capture(capture, tx)
 
         self.scheduler.schedule_at(tx.end_time, deliver)

@@ -1,0 +1,160 @@
+"""Golden-vector corpus generator.
+
+Builds the frozen reference vectors under ``tests/golden/`` from the
+encoding pipeline itself:
+
+* ``table1_pn_sequences.json`` — the paper's Table I: the sixteen 32-chip
+  DSSS PN sequences.
+* ``algorithm1_msk.json`` — Algorithm 1's output: the 31-bit MSK encoding
+  of every PN sequence, plus the WazaBee Access Address derived from
+  symbol 0.
+* ``tx_streams.json`` — one full transmission per 802.15.4 channel 11–26:
+  a per-channel PSDU (valid FCS), its chip stream and its MSK rotation-bit
+  stream, along with the channel's centre frequency.
+* ``roundtrip.json`` — the noiseless capture→decode expectation for each
+  TX stream: decoding the post-Access-Address bits must reproduce the
+  PSDU byte-for-byte with the FCS intact.
+
+Every value is derived deterministically (no RNG, no clock), so the
+corpus regenerates byte-identically on every run; the test suite fails on
+any single-bit drift between the pipeline and the files on disk.
+
+Regenerate (only after an *intentional* encoding change) with::
+
+    PYTHONPATH=src python tests/golden/generate.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict
+
+import numpy as np
+
+from repro.core.encoding import (
+    MSK_STRIDE,
+    frame_to_msk_bits,
+    wazabee_access_address,
+    wazabee_access_address_bits,
+)
+from repro.core.rx import decode_payload_bits
+from repro.core.tables import MSK_BITS_PER_SYMBOL, default_table
+from repro.dot15d4.channels import ZIGBEE_CHANNELS, channel_frequency_hz
+from repro.dot15d4.frames import Address, build_data
+from repro.phy.ieee802154 import CHIPS_PER_SYMBOL, PN_SEQUENCES, Ppdu
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+_SRC = Address(pan_id=0x1234, address=0x0063)
+_DST = Address(pan_id=0x1234, address=0x0042)
+
+
+def _bit_string(bits) -> str:
+    return "".join(str(int(b)) for b in np.asarray(bits).ravel())
+
+
+def _pack_hex(bits) -> str:
+    """Bits packed MSB-first into bytes, hex-encoded (compact storage)."""
+    return np.packbits(np.asarray(bits, dtype=np.uint8)).tobytes().hex()
+
+
+def channel_psdu(channel: int) -> bytes:
+    """The per-channel golden frame: a data frame naming its channel."""
+    payload = b"\x10" + bytes([channel]) + b"\x00"
+    frame = build_data(
+        source=_SRC,
+        destination=_DST,
+        payload=payload,
+        sequence_number=channel,
+        ack_request=False,
+    )
+    return frame.to_bytes()
+
+
+def build_table1() -> Dict:
+    return {
+        "chips_per_symbol": CHIPS_PER_SYMBOL,
+        "sequences": {
+            str(symbol): _bit_string(PN_SEQUENCES[symbol])
+            for symbol in range(16)
+        },
+    }
+
+
+def build_algorithm1() -> Dict:
+    table = default_table()
+    return {
+        "msk_bits_per_symbol": MSK_BITS_PER_SYMBOL,
+        "access_address": f"0x{wazabee_access_address():08x}",
+        "access_address_bits": _bit_string(wazabee_access_address_bits()),
+        "correspondence": {
+            str(symbol): _bit_string(table.msk_sequence(symbol))
+            for symbol in range(16)
+        },
+    }
+
+
+def build_tx_streams() -> Dict:
+    streams = {}
+    for channel in ZIGBEE_CHANNELS:
+        psdu = channel_psdu(channel)
+        chips = Ppdu(psdu).to_chips()
+        msk_bits = frame_to_msk_bits(psdu)
+        streams[str(channel)] = {
+            "frequency_hz": channel_frequency_hz(channel),
+            "psdu": psdu.hex(),
+            "chips": _pack_hex(chips),
+            "chip_count": int(chips.size),
+            "msk_bits": _pack_hex(msk_bits),
+            "msk_bit_count": int(msk_bits.size),
+        }
+    return {
+        "chips_per_symbol": CHIPS_PER_SYMBOL,
+        "msk_stride": MSK_STRIDE,
+        "streams": streams,
+    }
+
+
+def build_roundtrip() -> Dict:
+    cases = {}
+    for channel in ZIGBEE_CHANNELS:
+        psdu = channel_psdu(channel)
+        bits = frame_to_msk_bits(psdu)
+        # The BLE correlator locks on the Access Address — one full preamble
+        # symbol — so the decoder sees the stream from the second symbol on.
+        decoded = decode_payload_bits(bits[MSK_STRIDE:])
+        assert decoded is not None, f"golden roundtrip failed on {channel}"
+        cases[str(channel)] = {
+            "psdu": decoded.psdu.hex(),
+            "fcs_ok": decoded.fcs_ok,
+            "sfd_index": decoded.sfd_index,
+            "mean_distance": decoded.mean_distance,
+            "symbol_count": len(decoded.symbols),
+        }
+    return {"skip_bits": MSK_STRIDE, "cases": cases}
+
+
+CORPUS = {
+    "table1_pn_sequences.json": build_table1,
+    "algorithm1_msk.json": build_algorithm1,
+    "tx_streams.json": build_tx_streams,
+    "roundtrip.json": build_roundtrip,
+}
+
+
+def render(name: str) -> str:
+    """Canonical serialisation — the byte-stability contract."""
+    return json.dumps(CORPUS[name](), indent=2, sort_keys=True) + "\n"
+
+
+def main() -> int:
+    for name in CORPUS:
+        path = GOLDEN_DIR / name
+        path.write_text(render(name), encoding="utf-8")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""Audit: firmware frame accounting vs the receiver's trace ledger.
+
+:attr:`WazaBeeFirmware.raw_frames_seen` claims to count every frame the
+firmware's handlers received — FCS-valid *and* corrupted — while sniffing
+(the sniffer routes both through ``_on_frame``).  The receiver's ledger
+counts the same deliveries as ``rx.frames.valid_delivered`` +
+``rx.frames.corrupt_delivered``, and FCS-failed frames arriving with *no*
+corrupt handler as ``rx.drops.corrupt`` (mirrored by
+:attr:`WazaBeeReceiver.corrupt_drops`).  These tests pin the exact
+reconciliation in both configurations, under a chaos profile that
+actually produces corrupted frames.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chips import Nrf52832, RzUsbStick
+from repro.core.firmware import WazaBeeFirmware
+from repro.dot15d4.frames import Address, build_data
+from repro.experiments.environment import build_testbed
+from repro.faults import named_profile
+from repro.obs import RX_FCS, TraceRecorder, scoped
+
+_SRC = Address(pan_id=0x1234, address=0x0063)
+_DST = Address(pan_id=0x1234, address=0x0042)
+
+CHANNEL = 17
+FRAMES = 40
+
+
+def _stand_up(registry_seed=3):
+    testbed = build_testbed(
+        seed=registry_seed,
+        fault_plan=named_profile("flaky-rx", channel=CHANNEL, seed=3),
+    )
+    chip = Nrf52832(
+        testbed.medium,
+        position=testbed.attacker_position,
+        rng=testbed.device_rng(1),
+    )
+    reference = RzUsbStick(
+        testbed.medium,
+        position=testbed.reference_position,
+        rng=testbed.device_rng(2),
+    )
+    reference.set_channel(CHANNEL)
+    firmware = WazaBeeFirmware(chip, testbed.scheduler)
+    return testbed, reference, firmware
+
+
+def _drive(testbed, reference):
+    for i in range(FRAMES):
+        frame = build_data(
+            _SRC, _DST, b"\x10" + bytes([i]), sequence_number=i & 0xFF
+        )
+        reference.transmit_frame(frame)
+        testbed.scheduler.run(2e-3)
+
+
+class TestSnifferAccounting:
+    def test_raw_frames_seen_equals_delivered_ledger(self):
+        with scoped() as (bus, registry):
+            recorder = TraceRecorder(bus)
+            testbed, reference, firmware = _stand_up()
+            firmware.start_sniffer(CHANNEL, lambda _f, _d: None)
+            _drive(testbed, reference)
+            firmware.stop_sniffer()
+
+            counters = registry.counter_values()
+            valid = counters.get("rx.frames.valid_delivered", 0)
+            corrupt = counters.get("rx.frames.corrupt_delivered", 0)
+            # The chaos profile must have produced both kinds, or the
+            # reconciliation below proves nothing.
+            assert valid > 0 and corrupt > 0
+            # The audit target: the firmware's monotonic count equals the
+            # receiver's delivered ledger, with nothing dropped.
+            assert firmware.raw_frames_seen == valid + corrupt
+            assert firmware.raw_frames_seen == counters["firmware.raw_frames"]
+            assert firmware.receiver.corrupt_drops == 0
+            assert counters.get("rx.drops.corrupt", 0) == 0
+            # Trace agrees with the counters: one FCS verdict per delivery.
+            assert recorder.count(RX_FCS, ok=True) == valid
+            assert recorder.count(RX_FCS, ok=False) == corrupt
+
+    def test_sniffed_frames_only_counts_fcs_valid(self):
+        with scoped() as (_bus, registry):
+            testbed, reference, firmware = _stand_up()
+            seen = []
+            firmware.start_sniffer(
+                CHANNEL, lambda frame, decoded: seen.append(decoded)
+            )
+            _drive(testbed, reference)
+            firmware.stop_sniffer()
+            counters = registry.counter_values()
+            assert len(seen) == counters["firmware.sniffed_frames"]
+            assert all(decoded.fcs_ok for decoded in seen)
+            assert (
+                counters["firmware.sniffed_frames"]
+                == counters["rx.frames.valid_delivered"]
+            )
+
+
+class TestNoCorruptHandlerAccounting:
+    def test_corrupt_drops_mirror_the_drop_counter(self):
+        """Without a corrupt handler, FCS-failed frames are dropped and
+        counted — never silently lost, never double-counted."""
+        with scoped() as (_bus, registry):
+            testbed, reference, firmware = _stand_up()
+            delivered = []
+            # Bare receiver start: main handler only, no salvage path.
+            firmware.receiver.start(CHANNEL, delivered.append)
+            _drive(testbed, reference)
+            firmware.receiver.stop()
+
+            counters = registry.counter_values()
+            drops = counters.get("rx.drops.corrupt", 0)
+            assert drops > 0  # the profile corrupts some frames
+            assert firmware.receiver.corrupt_drops == drops
+            assert counters.get("rx.frames.corrupt_delivered", 0) == 0
+            assert len(delivered) == counters["rx.frames.valid_delivered"]
+            # Conservation: every FCS verdict is either a delivery or a
+            # counted drop.
+            assert (
+                counters["rx.fcs.ok"] + counters["rx.fcs.fail"]
+                == len(delivered) + drops
+            )
+            # The firmware never saw the dropped frames: its raw count
+            # stays zero because _on_frame was bypassed entirely.
+            assert firmware.raw_frames_seen == 0

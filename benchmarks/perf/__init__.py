@@ -1,4 +1,4 @@
-"""Performance microbenchmarks and the ``BENCH_PR2.json`` trajectory.
+"""Performance microbenchmarks and the ``BENCH_PR5.json`` trajectory.
 
 Unlike the sibling ``benchmarks/test_*`` modules — which regenerate the
 *artefacts* of the paper (tables, figures) — this package times the hot
@@ -7,15 +7,26 @@ paths that make those artefacts cheap to regenerate at scale:
 * ``bench_decode`` — reception-primitive decode throughput (frames/s),
   vectorised :meth:`CorrespondenceTable.decode_blocks` vs the scalar
   per-block reference;
+* ``bench_modulate`` — GFSK waveform synthesis (frames/s), phase-stitched
+  :class:`WaveformCache` vs the direct convolve→cumsum→``exp`` reference;
+* ``bench_sync`` — :meth:`FskDemodulator.find_sync` search rate, FFT vs
+  time-domain correlator;
 * ``bench_capture`` — :meth:`RfMedium.compose_capture` latency, the inner
   loop of every simulated delivery;
 * ``bench_table3_cell`` — wall-clock of one Table III cell, the unit the
   ``--workers`` fan-out parallelises.
 
 Run ``python -m benchmarks.perf`` to execute all of them and write
-``BENCH_PR2.json`` (see :mod:`benchmarks.perf.harness` for the schema).
+``BENCH_PR5.json`` (see :mod:`benchmarks.perf.harness` for the schema);
+``--baseline BASELINE.json`` prints a delta summary and fails on a >30%
+throughput-ratio regression.
 """
 
-from benchmarks.perf.harness import BenchRecord, run_suite, write_report
+from benchmarks.perf.harness import (
+    BenchRecord,
+    compare_reports,
+    run_suite,
+    write_report,
+)
 
-__all__ = ["BenchRecord", "run_suite", "write_report"]
+__all__ = ["BenchRecord", "compare_reports", "run_suite", "write_report"]

@@ -1,0 +1,93 @@
+"""Sync-correlation microbenchmark (the acquisition hot path).
+
+Times :meth:`FskDemodulator.find_sync` over a realistic frame-sized
+capture with both correlator implementations pinned — the O(N·M)
+time-domain ``np.correlate`` and the FFT overlap path — plus the
+automatic crossover the receivers actually use.  Both implementations
+must return the same lock before anything is timed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from benchmarks.perf.harness import BenchRecord, best_of
+from repro.core.encoding import frame_to_msk_bits, wazabee_access_address_bits
+from repro.dot15d4.frames import Address, build_data
+from repro.dsp.gfsk import FskDemodulator, FskModulator, GfskConfig
+from repro.dsp.signal import IQSignal
+
+__all__ = ["bench_sync"]
+
+_SRC = Address(pan_id=0x1234, address=0x0063)
+_DST = Address(pan_id=0x1234, address=0x0042)
+
+_CONFIG = GfskConfig(samples_per_symbol=8, modulation_index=0.5, bt=None)
+_SYMBOL_RATE = 2e6
+
+
+def _capture(payload_size: int, snr_margin: float = 0.05, seed: int = 23):
+    """A noisy frame capture plus the Access-Address sync template."""
+    rng = np.random.default_rng(seed)
+    frame = build_data(
+        source=_SRC,
+        destination=_DST,
+        payload=bytes(rng.integers(0, 256, payload_size, dtype=np.uint8)),
+        sequence_number=1,
+    )
+    bits = frame_to_msk_bits(frame.to_bytes())
+    modulator = FskModulator(_CONFIG, _SYMBOL_RATE, use_cache=False)
+    clean = modulator.modulate_direct(bits).samples
+    noise = snr_margin * (
+        rng.standard_normal(clean.size) + 1j * rng.standard_normal(clean.size)
+    )
+    sig = IQSignal(clean + noise, _SYMBOL_RATE * _CONFIG.samples_per_symbol)
+    return sig, wazabee_access_address_bits()
+
+
+def bench_sync(quick: bool = False) -> List[BenchRecord]:
+    payload_size = 20 if quick else 60
+    repeats = 3 if quick else 5
+    searches = 3 if quick else 20
+    demod = FskDemodulator(_CONFIG, _SYMBOL_RATE)
+    sig, sync_bits = _capture(payload_size)
+    disc = demod.discriminate(sig)
+    power = np.abs(sig.samples[:-1]) ** 2
+
+    # Cross-check: both correlators must produce the same lock.
+    locks = {
+        kind: demod.find_sync(disc, sync_bits, power=power, correlator=kind)
+        for kind in ("direct", "fft")
+    }
+    assert locks["direct"] is not None and locks["fft"] is not None
+    assert locks["direct"].start == locks["fft"].start
+
+    def runner(correlator):
+        def run() -> None:
+            for _ in range(searches):
+                demod.find_sync(
+                    disc, sync_bits, power=power, correlator=correlator
+                )
+
+        return run
+
+    auto_s = best_of(runner(None), repeats=repeats)
+    direct_s = best_of(runner("direct"), repeats=repeats)
+    fft_s = best_of(runner("fft"), repeats=repeats)
+    return [
+        BenchRecord(
+            name="sync_search",
+            metric="searches_per_s",
+            value=searches / auto_s,
+            repeats=repeats,
+            extra={
+                "capture_samples": int(disc.size),
+                "template_bits": int(np.asarray(sync_bits).size),
+                "direct_searches_per_s": searches / direct_s,
+                "fft_searches_per_s": searches / fft_s,
+                "fft_speedup_vs_direct": direct_s / fft_s,
+            },
+        )
+    ]

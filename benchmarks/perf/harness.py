@@ -1,10 +1,10 @@
 """Timing harness and JSON report writer for the perf suite.
 
-``BENCH_PR2.json`` schema (``wazabee-bench/1``)::
+``BENCH_PR5.json`` schema (``wazabee-bench/1``)::
 
     {
       "schema": "wazabee-bench/1",
-      "suite": "BENCH_PR2",
+      "suite": "BENCH_PR5",
       "quick": false,
       "python": "3.12.3",
       "numpy": "1.26.4",
@@ -35,10 +35,30 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["BenchRecord", "best_of", "run_suite", "write_report"]
+__all__ = [
+    "BenchRecord",
+    "best_of",
+    "run_suite",
+    "write_report",
+    "compare_reports",
+]
 
 SCHEMA = "wazabee-bench/1"
-SUITE = "BENCH_PR2"
+SUITE = "BENCH_PR5"
+
+#: Throughput floor, as a fraction of the committed baseline, below which
+#: the suite exits non-zero (the CI regression gate).
+REGRESSION_FLOOR = 0.7
+
+#: ``(benchmark, extra key)`` pairs enforced against the baseline.  These
+#: are same-machine throughput *ratios* (optimised vs reference
+#: implementation timed back-to-back), so the gate is meaningful on CI
+#: runners of any speed — absolute frames/s would track runner hardware,
+#: not the code.
+ENFORCED_RATIOS = (
+    ("decode_throughput_vectorised", "speedup_vs_scalar"),
+    ("modulate_cached", "speedup_vs_direct"),
+)
 
 
 @dataclass
@@ -75,13 +95,57 @@ def run_suite(quick: bool = False) -> List[BenchRecord]:
     """
     from benchmarks.perf.bench_capture import bench_compose_capture
     from benchmarks.perf.bench_decode import bench_decode_throughput
+    from benchmarks.perf.bench_modulate import bench_modulate
+    from benchmarks.perf.bench_sync import bench_sync
     from benchmarks.perf.bench_table3_cell import bench_table3_cell
 
     records: List[BenchRecord] = []
     records.extend(bench_decode_throughput(quick=quick))
+    records.extend(bench_modulate(quick=quick))
+    records.extend(bench_sync(quick=quick))
     records.extend(bench_compose_capture(quick=quick))
     records.extend(bench_table3_cell(quick=quick))
     return records
+
+
+def compare_reports(current: Dict, baseline: Dict) -> List[str]:
+    """Print a delta-vs-baseline summary; return regression messages.
+
+    Every benchmark present in both reports gets a value-delta line.  The
+    returned list holds one message per :data:`ENFORCED_RATIOS` entry that
+    fell below :data:`REGRESSION_FLOOR` × its baseline — empty means the
+    gate passes.
+    """
+    base_benches = baseline.get("benchmarks", {})
+    for name, body in sorted(current.get("benchmarks", {}).items()):
+        base = base_benches.get(name)
+        if base is None:
+            print(f"{name:40s} {body['value']:>14.3f} {body['metric']} (new)")
+            continue
+        delta = (
+            (body["value"] - base["value"]) / base["value"] * 100.0
+            if base["value"]
+            else float("nan")
+        )
+        print(
+            f"{name:40s} {body['value']:>14.3f} {body['metric']} "
+            f"({delta:+.1f}% vs baseline {base['value']:.3f})"
+        )
+    regressions: List[str] = []
+    for name, key in ENFORCED_RATIOS:
+        body = current.get("benchmarks", {}).get(name)
+        base = base_benches.get(name)
+        if body is None or base is None:
+            continue
+        now, then = body["extra"].get(key), base["extra"].get(key)
+        if now is None or then is None or then <= 0:
+            continue
+        if now < REGRESSION_FLOOR * then:
+            regressions.append(
+                f"{name}.{key} regressed: {now:.2f}x vs baseline "
+                f"{then:.2f}x (floor {REGRESSION_FLOOR:.0%})"
+            )
+    return regressions
 
 
 def write_report(
@@ -124,7 +188,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf",
-        description="run the WazaBee perf suite and write BENCH_PR2.json",
+        description="run the WazaBee perf suite and write BENCH_PR5.json",
     )
     parser.add_argument(
         "--quick",
@@ -134,8 +198,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--output",
-        default="BENCH_PR2.json",
-        help="report path (default: ./BENCH_PR2.json)",
+        default="BENCH_PR5.json",
+        help="report path (default: ./BENCH_PR5.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="previous wazabee-bench/1 report to diff against; exits "
+        "non-zero when an enforced throughput ratio drops below "
+        f"{int(REGRESSION_FLOOR * 100)}%% of it",
     )
     parser.add_argument(
         "--trace",
@@ -155,9 +227,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = write_report(
         records, args.output, quick=args.quick, metrics=metrics
     )
-    for name, body in sorted(report["benchmarks"].items()):
-        print(f"{name:40s} {body['value']:>14.3f} {body['metric']}")
+    regressions: List[str] = []
+    if args.baseline is not None:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        regressions = compare_reports(report, baseline)
+    else:
+        for name, body in sorted(report["benchmarks"].items()):
+            print(f"{name:40s} {body['value']:>14.3f} {body['metric']}")
     print(f"wrote {args.output}")
+    for message in regressions:
+        print(f"REGRESSION: {message}", file=sys.stderr)
     if args.trace is not None:
         from repro.experiments.table3 import run_table3_cell
         from repro.obs import write_events_jsonl
@@ -167,7 +247,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         write_events_jsonl(cell.trace_events, args.trace)
         print(f"trace: {len(cell.trace_events)} events -> {args.trace}")
-    return 0
+    return 1 if regressions else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -75,6 +75,9 @@ class BleRadioPeripheral:
         self._crc_enabled = True
         self._rx_handler: Optional[RawBitsHandler] = None
         self._rx_max_bits = 0
+        # Modems are pure functions of (samples/symbol, symbol rate); keep
+        # one of each per rate instead of rebuilding them per packet.
+        self._modems: dict = {}
 
     # ------------------------------------------------------------------
     # LowLevelRadio interface
@@ -155,20 +158,29 @@ class BleRadioPeripheral:
         return int(round(sps))
 
     def _modulator(self) -> FskModulator:
-        config = GfskConfig(
-            samples_per_symbol=self._samples_per_symbol(),
-            modulation_index=0.5,
-            bt=0.5,
-        )
-        return FskModulator(config, self._symbol_rate)
+        key = ("mod", self._samples_per_symbol(), self._symbol_rate)
+        modem = self._modems.get(key)
+        if modem is None:
+            config = GfskConfig(
+                samples_per_symbol=key[1], modulation_index=0.5, bt=0.5
+            )
+            modem = self._modems[key] = FskModulator(config, self._symbol_rate)
+        return modem
 
     def _demodulator(self) -> FskDemodulator:
-        config = GfskConfig(
-            samples_per_symbol=self._samples_per_symbol(),
-            modulation_index=0.5,
-            bt=None,
-        )
-        return FskDemodulator(config, self._symbol_rate)
+        key = ("demod", self._samples_per_symbol(), self._symbol_rate)
+        modem = self._modems.get(key)
+        if modem is None:
+            config = GfskConfig(
+                samples_per_symbol=key[1], modulation_index=0.5, bt=None
+            )
+            modem = self._modems[key] = FskDemodulator(config, self._symbol_rate)
+        return modem
+
+    def warm_tx_path(self) -> None:
+        """Prebuild the modulator and its waveform cache for the current
+        data rate, so the first transmission pays no setup cost."""
+        self._modulator().warm()
 
     # -- raw TX ------------------------------------------------------------
     def send_raw_bits(self, payload_bits: np.ndarray) -> Transmission:

@@ -147,6 +147,9 @@ class Dot15d4Radio:
     def _decode_capture(self, capture: IQSignal) -> Optional[ReceivedPsdu]:
         max_chips = CHIPS_PER_SYMBOL * (10 + 2 * (1 + MAX_PSDU_SIZE))
         search_start = 0
+        # Discriminate (and lazily compute power) once; every re-arm
+        # reuses the same front-end output.
+        front_end = self._demodulator.front_end(capture)
         for _attempt in range(self.RESYNC_ATTEMPTS):
             result = self._demodulator.receive_chips(
                 capture,
@@ -155,6 +158,7 @@ class Dot15d4Radio:
                 max_chips=max_chips,
                 threshold=self.sync_threshold,
                 search_start=search_start,
+                front_end=front_end,
             )
             if result is None:
                 return None

@@ -19,16 +19,29 @@ waveform, including 802.15.4's O-QPSK with half-sine shaping.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
+
+from scipy import fft as sp_fft
 
 from repro.dsp.filters import gaussian_pulse, rectangular_pulse
 from repro.dsp.signal import IQSignal
 from repro.utils.bits import as_bit_array
 
-__all__ = ["GfskConfig", "FskModulator", "FskDemodulator", "SyncResult"]
+__all__ = [
+    "GfskConfig",
+    "FskModulator",
+    "FskDemodulator",
+    "SyncResult",
+    "WaveformCache",
+    "waveform_cache",
+    "clear_waveform_caches",
+    "lazy_capture_power",
+    "FFT_SYNC_MIN_PRODUCT",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +66,191 @@ class GfskConfig:
             raise ValueError("bt must be positive or None")
 
 
+class WaveformCache:
+    """Precomputed phase-stitched IQ segments for one (config, rate) modem.
+
+    The MSK-family waveform is structurally repetitive: with a shaping
+    pulse spanning ``S`` symbol periods, the frequency trajectory inside
+    any one symbol period depends only on the ``S``-bit n-gram ending at
+    that symbol.  There are therefore at most ``2**S`` distinct IQ
+    segments (up to a carrier-phase rotation), which this cache
+    precomputes once per :class:`GfskConfig`:
+
+    * ``_segments[p]`` — the ``samples_per_symbol`` IQ samples of n-gram
+      ``p``, synthesised from phase 0 at the segment start;
+    * ``_increments[p]`` — the total phase advance across the segment.
+
+    A frame is then synthesised by indexing segments with the sliding
+    n-gram of the bit stream and rotating each one by the running phase —
+    one complex exponential per *symbol* instead of per *sample* (the
+    convolve → cumsum → ``exp`` chain of the direct modulator).  The
+    pulse head and tail (where the n-gram is truncated by the stream
+    edges) are the only parts still synthesised directly.
+
+    Agreement with :meth:`FskModulator.modulate_direct` is within normal
+    floating-point reassociation error (≤1e-9, property-tested), because
+    both paths sum the very same per-sample phase contributions, merely
+    in a different order.
+    """
+
+    def __init__(self, config: GfskConfig, symbol_rate: float):
+        self.config = config
+        self.symbol_rate = symbol_rate
+        self.sample_rate = symbol_rate * config.samples_per_symbol
+        sps = config.samples_per_symbol
+        if config.bt is None:
+            pulse = rectangular_pulse(sps)
+        else:
+            pulse = gaussian_pulse(config.bt, sps, config.span_symbols)
+        if len(pulse) % sps != 0:
+            raise ValueError(
+                "pulse length must be a whole number of symbol periods"
+            )
+        self._pulse = pulse
+        #: Symbols of bit context one output symbol period depends on.
+        self.span = len(pulse) // sps
+        deviation = config.modulation_index * symbol_rate / 2.0
+        self._dphi_scale = 2.0 * np.pi * deviation / self.sample_rate
+        # pulse sliced per contributing-symbol offset: slice d is the part
+        # of the pulse a bit emitted d symbol periods ago contributes to
+        # the current period.
+        slices = [pulse[d * sps : (d + 1) * sps] for d in range(self.span)]
+
+        def block(pattern: int, active, length: int):
+            """(segment, phase increment) of one symbol period.
+
+            *active* lists the slice offsets ``d`` with a live bit; bit
+            ``d`` of *pattern* is that bit's value.  Offsets outside
+            *active* are stream edges and contribute nothing.
+            """
+            freq = np.zeros(length)
+            for d in active:
+                nrz = 2.0 * ((pattern >> d) & 1) - 1.0
+                freq += nrz * slices[d][:length]
+            cum = np.cumsum(self._dphi_scale * freq)
+            inc = float(cum[-1]) if length else 0.0
+            return np.exp(1j * cum), inc
+
+        span = self.span
+        # Interior periods: all `span` context bits live.
+        self._segments = np.empty((1 << span, sps), dtype=np.complex128)
+        self._increments = np.empty(1 << span)
+        for p in range(1 << span):
+            self._segments[p], self._increments[p] = block(p, range(span), sps)
+        # Head period k (k < span-1) sees bits d = 0..k only; the index is
+        # the low k+1 bits of the stream prefix.  Tail period n+t sees bits
+        # d = t+1..span-1 (offsets into the stream suffix); the final tail
+        # period is one sample short (the `full`-convolution layout).
+        self._head = []
+        for k in range(span - 1):
+            segs = np.empty((1 << (k + 1), sps), dtype=np.complex128)
+            incs = np.empty(1 << (k + 1))
+            for p in range(1 << (k + 1)):
+                segs[p], incs[p] = block(p, range(k + 1), sps)
+            self._head.append((segs, incs))
+        self._tail = []
+        for t in range(span):
+            length = sps if t < span - 1 else sps - 1
+            active = range(t + 1, span)
+            width = span - 1 - t
+            segs = np.empty((1 << width, length), dtype=np.complex128)
+            incs = np.empty(1 << width)
+            for q in range(1 << width):
+                # q packs the live bits: bit (d - t - 1) of q is offset d.
+                pattern = q << (t + 1)
+                segs[q], incs[q] = block(pattern, active, length)
+            self._tail.append((segs, incs))
+
+    def synthesize(self, bits, initial_phase: float = 0.0) -> np.ndarray:
+        """Complex-baseband samples for *bits* (cache-stitched fast path).
+
+        Output is sample-for-sample the modulator's ``full``-convolution
+        layout: ``len(bits) * sps + pulse_len - 1`` samples.
+        """
+        arr = as_bit_array(bits)
+        sps = self.config.samples_per_symbol
+        span = self.span
+        n = int(arr.size)
+        if n < span:
+            raise ValueError("bit sequence shorter than the pulse span")
+        total_len = n * sps + len(self._pulse) - 1
+        out = np.empty(total_len, dtype=np.complex128)
+        # Sliding n-gram index: idx[i] covers bits i..i+span-1, i.e. the
+        # interior period k = i + span - 1; most recent bit in the low bit.
+        wide = arr.astype(np.int64)
+        idx = wide[span - 1 :].copy()
+        for d in range(1, span):
+            idx += wide[span - 1 - d : n - d] << d
+        num_interior = idx.size
+        num_blocks = num_interior + (span - 1) + span
+        # Phase increment of every period in stream order, then the
+        # running phase at each period start.
+        increments = np.empty(num_blocks)
+        head_idx = []
+        for k in range(span - 1):
+            h = 0
+            for d in range(k + 1):
+                h |= int(arr[k - d]) << d
+            head_idx.append(h)
+            increments[k] = self._head[k][1][h]
+        np.take(self._increments, idx, out=increments[span - 1 : span - 1 + num_interior])
+        tail_idx = []
+        for t in range(span):
+            q = 0
+            for d in range(t + 1, span):
+                q |= int(arr[n + t - d]) << (d - t - 1)
+            tail_idx.append(q)
+            increments[num_interior + span - 1 + t] = self._tail[t][1][q]
+        starts = np.empty(num_blocks)
+        starts[0] = initial_phase
+        np.cumsum(increments[:-1], out=starts[1:])
+        starts[1:] += initial_phase
+        # Stitch: gather each period's cached segment into the output and
+        # rotate it by the running phase — one complex multiply per sample,
+        # one cos/sin pair per symbol (instead of per-sample exp/cumsum).
+        pos = 0
+        for k in range(span - 1):
+            seg = self._head[k][0][head_idx[k]]
+            out[pos : pos + sps] = seg * np.exp(1j * starts[k])
+            pos += sps
+        view = out[pos : pos + num_interior * sps].reshape(num_interior, sps)
+        np.take(self._segments, idx, axis=0, out=view)
+        phases = starts[span - 1 : span - 1 + num_interior]
+        rotations = np.empty(num_interior, dtype=np.complex128)
+        np.cos(phases, out=rotations.real)
+        np.sin(phases, out=rotations.imag)
+        view *= rotations[:, None]
+        pos += num_interior * sps
+        for t in range(span):
+            seg = self._tail[t][0][tail_idx[t]]
+            phase = starts[num_interior + span - 1 + t]
+            out[pos : pos + seg.size] = seg * np.exp(1j * phase)
+            pos += seg.size
+        return out
+
+
+#: Process-wide cache registry, keyed by the (frozen, hashable) modem
+#: parameters.  Shared so that every layer constructing a short-lived
+#: :class:`FskModulator` — chips build one per transmission — reuses the
+#: same precomputed segment tables.
+_WAVEFORM_CACHES: Dict[Tuple[GfskConfig, float], WaveformCache] = {}
+
+
+def waveform_cache(config: GfskConfig, symbol_rate: float) -> WaveformCache:
+    """The shared :class:`WaveformCache` for *(config, symbol_rate)*."""
+    key = (config, symbol_rate)
+    cache = _WAVEFORM_CACHES.get(key)
+    if cache is None:
+        cache = WaveformCache(config, symbol_rate)
+        _WAVEFORM_CACHES[key] = cache
+    return cache
+
+
+def clear_waveform_caches() -> None:
+    """Drop every cached segment table (test isolation / cold-start runs)."""
+    _WAVEFORM_CACHES.clear()
+
+
 class FskModulator:
     """Continuous-phase FSK modulator.
 
@@ -62,9 +260,21 @@ class FskModulator:
         Modem parameters.
     symbol_rate:
         Symbols per second (1e6 for LE 1M, 2e6 for LE 2M).
+    cache:
+        Waveform-synthesis cache.  By default the process-wide shared
+        cache for *(config, symbol_rate)* is attached lazily on first
+        :meth:`modulate`; pass an explicit :class:`WaveformCache` to
+        share a handle across modulators, or ``use_cache=False`` to force
+        the direct convolve/cumsum/exp path.
     """
 
-    def __init__(self, config: GfskConfig, symbol_rate: float):
+    def __init__(
+        self,
+        config: GfskConfig,
+        symbol_rate: float,
+        cache: Optional[WaveformCache] = None,
+        use_cache: bool = True,
+    ):
         if symbol_rate <= 0:
             raise ValueError("symbol_rate must be positive")
         self.config = config
@@ -76,6 +286,8 @@ class FskModulator:
             self._pulse = gaussian_pulse(
                 config.bt, config.samples_per_symbol, config.span_symbols
             )
+        self._use_cache = use_cache
+        self._cache = cache
 
     @property
     def frequency_deviation(self) -> float:
@@ -101,7 +313,38 @@ class FskModulator:
 
         The output includes the Gaussian filter tail, so its length slightly
         exceeds ``len(bits) * samples_per_symbol``.
+
+        Synthesis goes through the phase-stitched :class:`WaveformCache`
+        whenever one is attached (the default) and the stream is at least
+        one pulse span long; :meth:`modulate_direct` is the cache-free
+        reference path.
         """
+        if self._use_cache:
+            cache = self._cache
+            if cache is None:
+                cache = self._cache = waveform_cache(
+                    self.config, self.symbol_rate
+                )
+            if as_bit_array(bits).size >= cache.span:
+                samples = cache.synthesize(bits, initial_phase=initial_phase)
+                return IQSignal(samples, self.sample_rate)
+        return self.modulate_direct(bits, initial_phase=initial_phase)
+
+    def warm(self) -> Optional[WaveformCache]:
+        """Build (or attach) the waveform cache ahead of the first frame.
+
+        Called by radio configuration paths so cache construction cost is
+        paid at setup time, not inside the first transmission.  Returns the
+        attached cache, or ``None`` when caching is disabled.
+        """
+        if not self._use_cache:
+            return None
+        if self._cache is None:
+            self._cache = waveform_cache(self.config, self.symbol_rate)
+        return self._cache
+
+    def modulate_direct(self, bits, initial_phase: float = 0.0) -> IQSignal:
+        """Cache-free reference synthesis (convolve → cumsum → ``exp``)."""
         freq = self.frequency_waveform(bits)
         # Phase advance per sample: 2π f Δt, accumulated.
         dphi = 2.0 * np.pi * freq / self.sample_rate
@@ -127,6 +370,79 @@ class SyncResult:
     start: int
     score: float
     dc_offset: float
+
+
+#: Floor for the sync correlator's FFT path: below this
+#: ``capture_samples × template_samples`` product the time-domain
+#: ``np.correlate`` always wins (no transform setup is worth paying).
+FFT_SYNC_MIN_PRODUCT = 1 << 21
+
+#: Relative cost of one transform point vs one direct multiply-add in the
+#: correlator cost model (three real FFTs plus the spectral product,
+#: measured against BLAS-backed ``np.correlate`` on frame-sized captures).
+FFT_COST_FACTOR = 20.0
+
+PowerInput = Union[np.ndarray, Callable[[], np.ndarray]]
+
+
+def lazy_capture_power(sig: IQSignal) -> Callable[[], np.ndarray]:
+    """Memoised supplier of the capture's per-sample power profile.
+
+    The |x|² vector feeds :meth:`FskDemodulator.find_sync`'s RSSI gate but
+    is only needed once a correlation candidate exists; wrapping it keeps
+    sync-less captures free of the extra pass, and re-armed sync searches
+    over the same capture share the single materialised array.
+    """
+    cache: list = []
+
+    def supplier() -> np.ndarray:
+        if not cache:
+            cache.append(np.abs(sig.samples[:-1]) ** 2)
+        return cache[0]
+
+    return supplier
+
+
+def _correlate_valid(
+    haystack: np.ndarray, template: np.ndarray, force: Optional[str] = None
+) -> np.ndarray:
+    """``np.correlate(haystack, template, mode="valid")``, FFT above a size
+    threshold.
+
+    *force* pins the implementation (``"fft"`` / ``"direct"``) for tests
+    and benchmarks; the default compares the two cost models (O(N·M)
+    multiply-adds vs O(N·log N) transform work).  Both paths return the
+    same values up to float rounding (~1e-12 relative).
+    """
+    if haystack.size < template.size:
+        return np.zeros(0)
+    n = int(haystack.size)
+    n_fft = sp_fft.next_fast_len(n)
+    if force is not None:
+        use_fft = force == "fft"
+    else:
+        # Direct costs N·M multiply-adds; the three transforms cost
+        # ~FFT_COST_FACTOR·N_fft·log2(N_fft) equivalent operations
+        # (calibrated empirically — BLAS-backed np.correlate is far faster
+        # per multiply-add than a transform butterfly).  Short templates
+        # therefore stay time-domain however long the capture gets.
+        direct_cost = n * template.size
+        fft_cost = FFT_COST_FACTOR * n_fft * math.log2(n_fft)
+        use_fft = (
+            direct_cost >= FFT_SYNC_MIN_PRODUCT and direct_cost > fft_cost
+        )
+    if not use_fft:
+        return np.correlate(haystack, template, mode="valid")
+    # Cross-correlation via the convolution theorem on real FFTs:
+    # corr[k] = Σ_i haystack[k+i]·template[i] = IFFT(FFT(h)·conj(FFT(t))).
+    # Zero-padding to a 2/3/5-smooth length sidesteps the slow prime-size
+    # FFT cases an arbitrary capture length can land on; the valid region
+    # (no circular wraparound) is unaffected.
+    full = np.fft.irfft(
+        np.fft.rfft(haystack, n_fft) * np.conj(np.fft.rfft(template, n_fft)),
+        n_fft,
+    )
+    return full[: n - template.size + 1]
 
 
 class FskDemodulator:
@@ -166,8 +482,9 @@ class FskDemodulator:
         disc: np.ndarray,
         sync_bits,
         threshold: float = 0.45,
-        power: Optional[np.ndarray] = None,
+        power: Optional[PowerInput] = None,
         search_start: int = 0,
+        correlator: Optional[str] = None,
     ) -> Optional[SyncResult]:
         """Search the discriminator output for a sync word.
 
@@ -179,11 +496,17 @@ class FskDemodulator:
         The correlation is performed against a mean-removed template so a
         static carrier-frequency offset does not masquerade as (or mask) a
         match; the removed mean is then used to estimate that offset.
+        Above :data:`FFT_SYNC_MIN_PRODUCT` multiply-adds the correlation
+        runs as an FFT product instead of in the time domain (*correlator*
+        pins one implementation: ``"fft"`` / ``"direct"``).
 
         *power* (per-sample |x|², aligned with *disc*) enables an RSSI gate:
         candidate alignments whose windowed power falls well below the
         strongest part of the capture are rejected, so clipped noise in the
-        pre-frame margin cannot trigger a false sync.
+        pre-frame margin cannot trigger a false sync.  It may be given as a
+        zero-argument callable, evaluated only when at least one candidate
+        clears *threshold* — captures with no correlation peak never pay
+        for the power profile.
 
         *search_start* skips the beginning of the capture — receivers use it
         to re-arm the correlator after a sync that failed to yield a frame.
@@ -195,17 +518,22 @@ class FskDemodulator:
         norm = float(np.dot(template_centered, template_centered))
         if norm == 0.0:
             raise ValueError("sync word must not be constant")
-        corr = np.correlate(disc, template_centered, mode="valid") / norm
+        corr = _correlate_valid(disc, template_centered, force=correlator) / norm
         valid = corr >= threshold
-        if power is not None and power.size >= disc.size:
+        if search_start > 0:
+            valid[: min(search_start, valid.size)] = False
+        if not valid.any():
+            return None
+        power_arr = power() if callable(power) else power
+        if power_arr is not None and power_arr.size >= disc.size:
             window = template.size
-            cumulative = np.concatenate([[0.0], np.cumsum(power[: disc.size])])
+            cumulative = np.concatenate(
+                [[0.0], np.cumsum(power_arr[: disc.size])]
+            )
             windowed = (cumulative[window:] - cumulative[:-window]) / window
             windowed = windowed[: corr.size]
             gate = 0.25 * float(np.percentile(windowed, 90))
             valid &= windowed >= gate
-        if search_start > 0:
-            valid[: min(search_start, valid.size)] = False
         above = np.nonzero(valid)[0]
         if above.size == 0:
             return None
@@ -275,8 +603,12 @@ class FskDemodulator:
         whole symbols are returned.
         """
         disc = self.discriminate(sig)
-        power = np.abs(sig.samples[:-1]) ** 2
-        sync = self.find_sync(disc, sync_bits, threshold=threshold, power=power)
+        sync = self.find_sync(
+            disc,
+            sync_bits,
+            threshold=threshold,
+            power=lazy_capture_power(sig),
+        )
         if sync is None:
             return None
         sps = self.config.samples_per_symbol

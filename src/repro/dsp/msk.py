@@ -87,10 +87,12 @@ def transitions_to_chips(
     The recovered chips ``c_{start_index} .. c_{start_index + N - 1}``.
     """
     arr = as_bit_array(transitions)
-    chips = np.empty(arr.size, dtype=np.uint8)
-    prev = np.uint8(previous_chip & 1)
-    for k in range(arr.size):
-        parity = np.uint8((start_index + k) % 2)
-        prev = arr[k] ^ prev ^ parity
-        chips[k] = prev
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.uint8)
+    # Unrolling the recurrence c_k = t_k ^ c_{k-1} ^ p_k gives the closed
+    # form c_k = previous_chip ^ XOR_{j<=k}(t_j ^ p_j) — a prefix XOR.
+    indices = np.arange(start_index, start_index + arr.size)
+    parity = (indices & 1).astype(np.uint8)
+    chips = np.bitwise_xor.accumulate(arr ^ parity)
+    chips ^= np.uint8(previous_chip & 1)
     return chips

@@ -23,7 +23,12 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.dsp.filters import half_sine_pulse
-from repro.dsp.gfsk import FskDemodulator, GfskConfig, SyncResult
+from repro.dsp.gfsk import (
+    FskDemodulator,
+    GfskConfig,
+    SyncResult,
+    lazy_capture_power,
+)
 from repro.dsp.msk import chips_to_transitions, transitions_to_chips
 from repro.dsp.signal import IQSignal
 from repro.utils.bits import as_bit_array
@@ -60,14 +65,23 @@ class OqpskModulator:
         """
         arr = as_bit_array(chips)
         spc = self.samples_per_chip
+        pulse_len = len(self._pulse)
         nrz = arr.astype(np.float64) * 2.0 - 1.0
-        length = arr.size * spc + len(self._pulse) - 1
+        length = arr.size * spc + pulse_len - 1
         i_wave = np.zeros(length)
         q_wave = np.zeros(length)
-        for idx, level in enumerate(nrz):
-            start = idx * spc
-            target = i_wave if idx % 2 == 0 else q_wave
-            target[start : start + len(self._pulse)] += level * self._pulse
+        # Same-rail chips sit 2·spc apart — exactly one pulse length — so
+        # each rail is a sequence of non-overlapping pulse blocks that can
+        # be written in one outer product per rail.
+        even, odd = nrz[0::2], nrz[1::2]
+        if even.size:
+            view = i_wave[: even.size * pulse_len].reshape(even.size, pulse_len)
+            np.multiply.outer(even, self._pulse, out=view)
+        if odd.size:
+            view = q_wave[spc : spc + odd.size * pulse_len].reshape(
+                odd.size, pulse_len
+            )
+            np.multiply.outer(odd, self._pulse, out=view)
         return i_wave, q_wave
 
     def modulate(self, chips) -> IQSignal:
@@ -105,6 +119,16 @@ class OqpskDemodulator:
         )
         self._fsk = FskDemodulator(config, chip_rate)
 
+    def front_end(self, sig: IQSignal) -> Tuple[np.ndarray, object]:
+        """Run the analogue front end once: ``(disc, power)``.
+
+        *disc* is the discriminator output and *power* a lazy,
+        memoised instantaneous-power supplier.  Pass the pair to
+        :meth:`receive_chips` via ``front_end=`` to reuse it across
+        re-armed sync searches instead of recomputing per attempt.
+        """
+        return self._fsk.discriminate(sig), lazy_capture_power(sig)
+
     def receive_chips(
         self,
         sig: IQSignal,
@@ -113,6 +137,7 @@ class OqpskDemodulator:
         max_chips: int,
         threshold: float = 0.45,
         search_start: int = 0,
+        front_end: Optional[Tuple[np.ndarray, object]] = None,
     ) -> Optional[Tuple[np.ndarray, ChipSyncResult]]:
         """Acquire *sync_chips* and decode the chips that follow.
 
@@ -131,6 +156,9 @@ class OqpskDemodulator:
         search_start:
             Discriminator sample index to resume the pattern search from
             (used to re-arm after a sync that produced no frame).
+        front_end:
+            A previously computed :meth:`front_end` result for *sig*;
+            when given, the discriminator and power are not recomputed.
 
         Returns
         -------
@@ -142,8 +170,9 @@ class OqpskDemodulator:
         if sync_arr.size < 8:
             raise ValueError("sync pattern too short for reliable correlation")
         template = chips_to_transitions(sync_arr, start_index=sync_start_index)
-        disc = self._fsk.discriminate(sig)
-        power = np.abs(sig.samples[:-1]) ** 2
+        if front_end is None:
+            front_end = self.front_end(sig)
+        disc, power = front_end
         sync = self._fsk.find_sync(
             disc,
             template,

@@ -230,6 +230,23 @@ def _run_cell_args(kwargs: Dict) -> ChannelResult:
     return run_table3_cell(**kwargs)
 
 
+def _warm_worker(sample_rate: float) -> None:
+    """Prebuild the process-wide waveform cache for the WazaBee TX modem.
+
+    Used as the pool initializer (and called once on the serial path) so
+    each worker pays cache construction once, not inside its first cell.
+    """
+    from repro.dsp.gfsk import GfskConfig, waveform_cache
+
+    spc = sample_rate / 2e6
+    if abs(spc - round(spc)) > 1e-9:
+        return
+    config = GfskConfig(
+        samples_per_symbol=int(round(spc)), modulation_index=0.5, bt=0.5
+    )
+    waveform_cache(config, 2e6)
+
+
 def run_table3(
     frames: int = 100,
     channels: Sequence[int] = ZIGBEE_CHANNELS,
@@ -274,10 +291,16 @@ def run_table3(
         )
         for chip, primitive, channel in grid
     ]
+    sample_rate = (profile or TestbedProfile()).sample_rate
     if workers == 1:
+        _warm_worker(sample_rate)
         cells = [_run_cell_args(kwargs) for kwargs in cell_kwargs]
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_warm_worker,
+            initargs=(sample_rate,),
+        ) as pool:
             cells = list(pool.map(_run_cell_args, cell_kwargs))
     for (chip, primitive, _channel), cell in zip(grid, cells):
         result.cells.setdefault((chip, primitive), {})[cell.channel] = cell

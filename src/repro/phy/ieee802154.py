@@ -141,15 +141,28 @@ def despread_chips(
     Returns ``(symbols, distances)``.
     """
     arr = np.asarray(chips, dtype=np.uint8)
-    symbols: List[int] = []
-    distances: List[int] = []
-    for start in range(0, arr.size - CHIPS_PER_SYMBOL + 1, CHIPS_PER_SYMBOL):
-        symbol, distance = despread_symbol(arr[start : start + CHIPS_PER_SYMBOL])
-        if max_distance is not None and distance > max_distance:
-            break
-        symbols.append(symbol)
-        distances.append(distance)
-    return symbols, distances
+    num_blocks = arr.size // CHIPS_PER_SYMBOL
+    if num_blocks == 0:
+        return [], []
+    blocks = arr[: num_blocks * CHIPS_PER_SYMBOL].reshape(
+        num_blocks, CHIPS_PER_SYMBOL
+    ).astype(np.int32)
+    # Hamming distance via the identity |p ^ c| = |p| + |c| - 2·p·c — one
+    # (N, 32)×(32, 16) matmul instead of a Python loop over blocks.
+    pn = PN_MATRIX.astype(np.int32)
+    dists = pn.sum(axis=1)[None, :] + blocks.sum(axis=1)[:, None]
+    dists -= 2 * (blocks @ pn.T)
+    best = np.argmin(dists, axis=1)
+    best_dist = dists[np.arange(num_blocks), best]
+    stop = num_blocks
+    if max_distance is not None:
+        over = np.flatnonzero(best_dist > max_distance)
+        if over.size:
+            stop = int(over[0])
+    return (
+        [int(s) for s in best[:stop]],
+        [int(d) for d in best_dist[:stop]],
+    )
 
 
 def _shr_symbols() -> List[int]:

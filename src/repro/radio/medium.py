@@ -126,6 +126,13 @@ class RfMedium:
         self._radios: List["Transceiver"] = []
         self._transmissions: List[Transmission] = []
         self._next_id = 0
+        # Capture-composition scratch: mixed-signal memo (a transmission is
+        # mixed to a given receiver tuning once, not once per delivery) and
+        # reusable noise buffers (grow-only, so steady-state captures do no
+        # float allocation for the thermal floor).
+        self._mixed_cache: dict = {}
+        self._noise_re = np.empty(0)
+        self._noise_im = np.empty(0)
         self.fault_injector: Optional["FaultInjector"] = None
         if fault_injector is not None:
             self.install_fault_injector(fault_injector)
@@ -257,9 +264,9 @@ class RfMedium:
                 tx.source.position, radio.position, rng=self.rng
             )
             amplitude = 10.0 ** (gain_db / 20.0)
-            mixed = tx.signal.mixed_to(radio.tuned_hz)
+            mixed = self._mixed_samples(tx, radio.tuned_hz)
             offset = int(round((tx.start_time - start_time) * self.sample_rate))
-            self._add_at(total, mixed.samples * amplitude, offset)
+            self._add_at(total, mixed, offset, scale=amplitude)
         for interferer in self.interferers:
             burst = interferer.contribution(
                 rx_center_hz=radio.tuned_hz,
@@ -273,27 +280,58 @@ class RfMedium:
             (self.noise_floor_dbm + radio.noise_figure_db) / 10.0
         )
         scale = np.sqrt(noise_power / 2.0)
-        total += scale * (
-            self.rng.standard_normal(num) + 1j * self.rng.standard_normal(num)
-        )
+        if self._noise_re.size < num:
+            self._noise_re = np.empty(num)
+            self._noise_im = np.empty(num)
+        re, im = self._noise_re[:num], self._noise_im[:num]
+        # Same generator stream (and therefore bit-identical captures) as
+        # drawing two fresh arrays — ``out=`` only skips the allocations.
+        self.rng.standard_normal(out=re)
+        self.rng.standard_normal(out=im)
+        total.real += scale * re
+        total.imag += scale * im
         return IQSignal(total, self.sample_rate, radio.tuned_hz)
 
+    def _mixed_samples(self, tx: Transmission, tuned_hz: float) -> np.ndarray:
+        """*tx*'s samples mixed to a receiver tuning, memoised per pairing.
+
+        The cached array is shared between deliveries; callers must treat
+        it as read-only (``_add_at`` only reads it).
+        """
+        key = (tx.identifier, tuned_hz)
+        samples = self._mixed_cache.get(key)
+        if samples is None:
+            samples = tx.signal.mixed_to(tuned_hz).samples
+            self._mixed_cache[key] = samples
+        return samples
+
     @staticmethod
-    def _add_at(buffer: np.ndarray, samples: np.ndarray, offset: int) -> None:
+    def _add_at(
+        buffer: np.ndarray,
+        samples: np.ndarray,
+        offset: int,
+        scale: float = 1.0,
+    ) -> None:
         if offset >= buffer.size or offset + samples.size <= 0:
             return
         src_start = max(0, -offset)
         dst_start = max(0, offset)
         length = min(samples.size - src_start, buffer.size - dst_start)
         if length > 0:
-            buffer[dst_start : dst_start + length] += samples[
+            buffer[dst_start : dst_start + length] += scale * samples[
                 src_start : src_start + length
             ]
 
     def _prune(self, before: float) -> None:
-        self._transmissions = [
-            tx for tx in self._transmissions if tx.end_time >= before
-        ]
+        kept = [tx for tx in self._transmissions if tx.end_time >= before]
+        if len(kept) != len(self._transmissions):
+            live = {tx.identifier for tx in kept}
+            self._mixed_cache = {
+                key: val
+                for key, val in self._mixed_cache.items()
+                if key[0] in live
+            }
+        self._transmissions = kept
 
     # -- introspection ---------------------------------------------------------
     @property

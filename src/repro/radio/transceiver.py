@@ -14,7 +14,6 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from repro.dsp.filters import apply_filter, fir_lowpass
-from repro.dsp.impairments import apply_frequency_offset
 from repro.dsp.signal import IQSignal
 from repro.radio.medium import RfMedium, Transmission
 
@@ -77,6 +76,10 @@ class Transceiver:
             sample_rate=medium.sample_rate,
             num_taps=rx_filter_taps,
         )
+        # Grow-only sample-index ramp for the per-transmission CFO
+        # rotation; frames are near-constant length, so steady-state
+        # transmits allocate no index vector.
+        self._cfo_ramp = np.empty(0, dtype=np.int64)
         medium.attach(self)
 
     # -- tuning / state ------------------------------------------------------
@@ -121,10 +124,19 @@ class Transceiver:
                 f"differs from medium rate {self.medium.sample_rate}"
             )
         cfo = float(self.rng.normal(0.0, self.cfo_std_hz)) if self.cfo_std_hz else 0.0
-        distorted = apply_frequency_offset(baseband, cfo)
-        on_air = IQSignal(
-            distorted.samples, self.medium.sample_rate, self.tuned_hz
-        )
+        if cfo == 0.0:
+            samples = baseband.samples
+        else:
+            # Same rotation (and identical float expression, hence
+            # bit-identical output) as dsp.impairments.apply_frequency_offset,
+            # but with the index ramp reused across transmissions.
+            if self._cfo_ramp.size < len(baseband):
+                self._cfo_ramp = np.arange(len(baseband), dtype=np.int64)
+            n = self._cfo_ramp[: len(baseband)]
+            samples = baseband.samples * np.exp(
+                2j * np.pi * cfo * n / baseband.sample_rate
+            )
+        on_air = IQSignal(samples, self.medium.sample_rate, self.tuned_hz)
         tx = self.medium.transmit(self, on_air, self.tx_power_dbm)
         self._transmit_until = tx.end_time
         return tx

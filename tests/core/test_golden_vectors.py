@@ -134,3 +134,22 @@ class TestNoiselessRoundtrip:
 
     def test_skip_bits_is_one_stride(self):
         assert _load("roundtrip.json")["skip_bits"] == MSK_STRIDE
+
+
+class TestCachedSynthesisGolden:
+    """Cached waveform synthesis must match the direct modulator on every
+    golden per-channel TX stream (the signals that actually go on air)."""
+
+    @pytest.mark.parametrize("channel", ZIGBEE_CHANNELS)
+    def test_cached_equals_direct_on_golden_stream(self, channel):
+        from repro.dsp.gfsk import FskModulator, GfskConfig, WaveformCache
+
+        stream = _load("tx_streams.json")["streams"][str(channel)]
+        bits = _unpack_bits(stream["msk_bits"], stream["msk_bit_count"])
+        config = GfskConfig(samples_per_symbol=8, modulation_index=0.5, bt=0.5)
+        cache = WaveformCache(config, 2e6)
+        direct = FskModulator(config, 2e6, use_cache=False)
+        fast = cache.synthesize(bits)
+        ref = direct.modulate_direct(bits).samples
+        assert fast.shape == ref.shape
+        assert np.max(np.abs(fast - ref)) <= 1e-9

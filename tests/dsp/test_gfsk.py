@@ -4,8 +4,18 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.dsp.gfsk import FskDemodulator, FskModulator, GfskConfig
+from repro.dsp.gfsk import (
+    FskDemodulator,
+    FskModulator,
+    GfskConfig,
+    WaveformCache,
+    _correlate_valid,
+    clear_waveform_caches,
+    lazy_capture_power,
+    waveform_cache,
+)
 from repro.dsp.impairments import apply_frequency_offset, awgn
+from repro.dsp.signal import IQSignal
 
 
 def make_modem(bt=0.5, h=0.5, sps=8, rate=2e6):
@@ -190,3 +200,117 @@ class TestProperties:
         result = dem.demodulate_packet(sig, SYNC, payload.size)
         assert result is not None
         assert np.array_equal(result[0], payload)
+
+
+class TestWaveformCache:
+    """The phase-stitched fast path must be indistinguishable from the
+    direct convolve→cumsum→exp synthesis."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=4, max_size=96),
+        phase=st.floats(-np.pi, np.pi, allow_nan=False),
+    )
+    def test_matches_direct_modulator(self, bits, phase):
+        config = GfskConfig(samples_per_symbol=8, modulation_index=0.5, bt=0.5)
+        cache = WaveformCache(config, 2e6)
+        direct = FskModulator(config, 2e6, use_cache=False)
+        bits = np.array(bits, dtype=np.uint8)
+        fast = cache.synthesize(bits, initial_phase=phase)
+        ref = direct.modulate_direct(bits, initial_phase=phase).samples
+        assert fast.shape == ref.shape
+        assert np.max(np.abs(fast - ref)) <= 1e-9
+
+    @pytest.mark.parametrize("sps,bt,span", [(4, 0.5, 3), (8, 0.3, 4), (8, None, 3), (10, 0.5, 2)])
+    def test_matches_direct_across_configs(self, sps, bt, span):
+        rng = np.random.default_rng(5)
+        config = GfskConfig(
+            samples_per_symbol=sps, modulation_index=0.5, bt=bt, span_symbols=span
+        )
+        cache = WaveformCache(config, 1e6)
+        direct = FskModulator(config, 1e6, use_cache=False)
+        bits = rng.integers(0, 2, 257).astype(np.uint8)
+        fast = cache.synthesize(bits, initial_phase=0.7)
+        ref = direct.modulate_direct(bits, initial_phase=0.7).samples
+        assert np.max(np.abs(fast - ref)) <= 1e-9
+
+    def test_minimum_length_enforced(self):
+        config = GfskConfig(samples_per_symbol=8, modulation_index=0.5, bt=0.5)
+        cache = WaveformCache(config, 2e6)
+        with pytest.raises(ValueError):
+            cache.synthesize(np.ones(cache.span - 1, dtype=np.uint8))
+
+    def test_modulate_falls_back_below_span(self):
+        """Streams shorter than the pulse span use the direct path."""
+        mod, _ = make_modem()
+        short = np.array([1, 0], dtype=np.uint8)
+        via_modulate = mod.modulate(short).samples
+        via_direct = mod.modulate_direct(short).samples
+        assert np.array_equal(via_modulate, via_direct)
+
+    def test_shared_registry_returns_same_instance(self):
+        clear_waveform_caches()
+        config = GfskConfig(samples_per_symbol=8, modulation_index=0.5, bt=0.5)
+        a = waveform_cache(config, 2e6)
+        b = waveform_cache(config, 2e6)
+        assert a is b
+        clear_waveform_caches()
+        assert waveform_cache(config, 2e6) is not a
+
+    def test_warm_attaches_cache(self):
+        mod, _ = make_modem()
+        cache = mod.warm()
+        assert cache is not None
+        assert mod.warm() is cache
+        no_cache = FskModulator(
+            GfskConfig(samples_per_symbol=8, modulation_index=0.5, bt=0.5),
+            2e6,
+            use_cache=False,
+        )
+        assert no_cache.warm() is None
+
+
+class TestFftSyncEquivalence:
+    """FFT and time-domain correlators must lock identically."""
+
+    def test_correlators_agree_numerically(self, rng):
+        haystack = rng.standard_normal(5000)
+        template = rng.standard_normal(64)
+        direct = _correlate_valid(haystack, template, force="direct")
+        fft = _correlate_valid(haystack, template, force="fft")
+        assert direct.shape == fft.shape
+        assert np.max(np.abs(direct - fft)) < 1e-9
+
+    def test_find_sync_identical_under_noise_and_offset(self, rng):
+        mod, dem = make_modem()
+        payload = rng.integers(0, 2, 96).astype(np.uint8)
+        sig = mod.modulate(np.concatenate([SYNC, payload]))
+        sig = apply_frequency_offset(sig, 40e3)
+        sig = awgn(sig, snr_db=12.0, rng=rng)
+        disc = dem.discriminate(sig)
+        power = np.abs(sig.samples[:-1]) ** 2
+        direct = dem.find_sync(disc, SYNC, power=power, correlator="direct")
+        fft = dem.find_sync(disc, SYNC, power=power, correlator="fft")
+        assert direct is not None and fft is not None
+        assert direct.start == fft.start
+        assert fft.score == pytest.approx(direct.score, abs=1e-9)
+        assert fft.dc_offset == pytest.approx(direct.dc_offset, abs=1e-6)
+
+    def test_lazy_power_evaluated_once(self):
+        calls = []
+        sig = IQSignal(np.exp(1j * np.linspace(0, 20, 400)), 16e6)
+        supplier = lazy_capture_power(sig)
+        first = supplier()
+        second = supplier()
+        assert first is second
+        assert first.size == len(sig) - 1
+
+    def test_find_sync_accepts_callable_power(self, rng):
+        mod, dem = make_modem()
+        payload = rng.integers(0, 2, 64).astype(np.uint8)
+        sig = mod.modulate(np.concatenate([SYNC, payload]))
+        disc = dem.discriminate(sig)
+        eager = dem.find_sync(disc, SYNC, power=np.abs(sig.samples[:-1]) ** 2)
+        lazy = dem.find_sync(disc, SYNC, power=lazy_capture_power(sig))
+        assert eager is not None and lazy is not None
+        assert (eager.start, eager.score) == (lazy.start, lazy.score)

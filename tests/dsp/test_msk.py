@@ -85,3 +85,36 @@ class TestAgainstWaveform:
         assert step == pytest.approx(np.pi / 2, abs=1e-2)
         expected = chips_to_transitions(np.array([1, 1, 1, 1], dtype=np.uint8))
         assert expected[0] == 1
+
+
+def _transitions_to_chips_scalar(transitions, start_index, previous_chip):
+    """The pre-vectorisation per-chip loop, kept as the reference."""
+    arr = np.asarray(transitions, dtype=np.uint8)
+    chips = np.empty(arr.size, dtype=np.uint8)
+    prev = np.uint8(previous_chip & 1)
+    for k in range(arr.size):
+        parity = np.uint8((start_index + k) % 2)
+        prev = arr[k] ^ prev ^ parity
+        chips[k] = prev
+    return chips
+
+
+class TestVectorisedInverse:
+    """The prefix-XOR closed form must equal the scalar recurrence."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        transitions=st.lists(st.integers(0, 1), min_size=0, max_size=256),
+        start=st.integers(0, 9),
+        previous=st.integers(0, 1),
+    )
+    def test_matches_scalar_reference(self, transitions, start, previous):
+        arr = np.array(transitions, dtype=np.uint8)
+        fast = transitions_to_chips(arr, start_index=start, previous_chip=previous)
+        ref = _transitions_to_chips_scalar(arr, start, previous)
+        assert fast.dtype == np.uint8
+        assert np.array_equal(fast, ref)
+
+    def test_empty_input(self):
+        out = transitions_to_chips(np.zeros(0, dtype=np.uint8), 0, 1)
+        assert out.size == 0 and out.dtype == np.uint8

@@ -130,3 +130,37 @@ class TestFullRun:
         assert "11" in text and "12" in text
         assert "averages:" in text
         assert "nRF52832" in text and "CC1352-R1" in text
+
+
+class TestWaveformCacheRegression:
+    """A cold and a warm waveform cache must yield byte-identical cells."""
+
+    def test_cold_and_warm_cache_identical(self):
+        from repro.dsp.gfsk import clear_waveform_caches
+
+        def snapshot():
+            cell = run_table3_cell(
+                "nRF52832", "tx", channel=15, frames=6, seed=3
+            )
+            return (cell.valid, cell.corrupted, cell.lost, cell.metrics)
+
+        clear_waveform_caches()
+        cold = snapshot()
+        warm = snapshot()
+        assert cold == warm
+
+    def test_run_table3_cold_vs_warm_identical(self):
+        from repro.dsp.gfsk import clear_waveform_caches
+
+        def snapshot():
+            result = run_table3(frames=4, channels=(12,), chips=("nRF52832",))
+            return {
+                key: (cell.valid, cell.corrupted, cell.lost, cell.metrics)
+                for key, rows in result.cells.items()
+                for cell in rows.values()
+            }
+
+        clear_waveform_caches()
+        cold = snapshot()
+        warm = snapshot()
+        assert cold == warm

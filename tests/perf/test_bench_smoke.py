@@ -1,8 +1,9 @@
 """Smoke tests for the perf-bench suite (so it can't rot).
 
 Runs every microbenchmark at quick-workload size, validates the
-``BENCH_PR2.json`` schema, and enforces the PR's acceptance floor: the
-vectorised decoder must be at least 5x the scalar reference.
+``BENCH_PR5.json`` schema, and enforces the acceptance floors: the
+vectorised decoder must be at least 5x the scalar reference and the
+cached waveform synthesis at least 3x the direct modulator.
 """
 
 import json
@@ -32,6 +33,8 @@ class TestSuite:
         names = {record.name for record in quick_records}
         assert names == {
             "decode_throughput_vectorised",
+            "modulate_cached",
+            "sync_search",
             "compose_capture_latency",
             "table3_cell_wall_clock",
         }
@@ -47,30 +50,77 @@ class TestSuite:
         )
         assert decode.extra["speedup_vs_scalar"] >= 5.0
 
+    def test_modulate_speedup_floor(self, quick_records):
+        """Acceptance: cached synthesis ≥3x the direct modulator."""
+        modulate = next(
+            r for r in quick_records if r.name == "modulate_cached"
+        )
+        assert modulate.extra["speedup_vs_direct"] >= 3.0
+
     def test_report_schema(self, quick_records, tmp_path):
         sys.path.insert(0, str(REPO_ROOT))
         try:
             from benchmarks.perf import write_report
         finally:
             sys.path.remove(str(REPO_ROOT))
-        path = tmp_path / "BENCH_PR2.json"
+        path = tmp_path / "BENCH_PR5.json"
         report = write_report(quick_records, str(path), quick=True)
         on_disk = json.loads(path.read_text())
         assert on_disk == report
         assert on_disk["schema"] == "wazabee-bench/1"
-        assert on_disk["suite"] == "BENCH_PR2"
+        assert on_disk["suite"] == "BENCH_PR5"
         assert on_disk["quick"] is True
         for body in on_disk["benchmarks"].values():
             assert set(body) == {"metric", "value", "repeats", "extra"}
 
 
+class TestBaselineGate:
+    def test_committed_baseline_is_valid(self):
+        baseline = json.loads(
+            (REPO_ROOT / "benchmarks" / "perf" / "BASELINE.json").read_text()
+        )
+        assert baseline["schema"] == "wazabee-bench/1"
+        assert {"decode_throughput_vectorised", "modulate_cached"} <= set(
+            baseline["benchmarks"]
+        )
+
+    def test_compare_reports_flags_regressions(self, quick_records, tmp_path):
+        sys.path.insert(0, str(REPO_ROOT))
+        try:
+            from benchmarks.perf import compare_reports, write_report
+        finally:
+            sys.path.remove(str(REPO_ROOT))
+        report = write_report(
+            quick_records, str(tmp_path / "now.json"), quick=True
+        )
+        # Against itself: no regression.
+        assert compare_reports(report, report) == []
+        # Against an inflated baseline: the enforced ratios must trip.
+        inflated = json.loads(json.dumps(report))
+        for name in ("decode_throughput_vectorised", "modulate_cached"):
+            for key, value in inflated["benchmarks"][name]["extra"].items():
+                if key.startswith("speedup"):
+                    inflated["benchmarks"][name]["extra"][key] = value * 10.0
+        regressions = compare_reports(report, inflated)
+        assert len(regressions) == 2
+
+
 class TestCliEntryPoint:
     def test_module_invocation_writes_report(self, tmp_path):
-        out = tmp_path / "BENCH_PR2.json"
+        out = tmp_path / "BENCH_PR5.json"
         env = dict(os.environ)
         env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}:{REPO_ROOT}"
         result = subprocess.run(
-            [sys.executable, "-m", "benchmarks.perf", "--quick", "--output", str(out)],
+            [
+                sys.executable,
+                "-m",
+                "benchmarks.perf",
+                "--quick",
+                "--output",
+                str(out),
+                "--baseline",
+                str(REPO_ROOT / "benchmarks" / "perf" / "BASELINE.json"),
+            ],
             capture_output=True,
             text=True,
             cwd=str(REPO_ROOT),
@@ -79,3 +129,4 @@ class TestCliEntryPoint:
         assert result.returncode == 0, result.stderr
         assert out.exists()
         assert "wrote" in result.stdout
+        assert "vs baseline" in result.stdout

@@ -8,14 +8,18 @@ Gives downstream users one-command access to every reproduction artefact:
 * ``scenario-a`` / ``scenario-b`` — run the attack scenarios (Scenario B
   optionally against an AES-CCM*-secured network);
 * ``similarity`` — compute the modulation-similarity matrix;
-* ``symmetric`` — quantify the reverse (Zigbee→BLE) pivot bound.
+* ``symmetric`` — quantify the reverse (Zigbee→BLE) pivot bound;
+* ``serve`` — run the supervised streaming sniffer service (JSONL/PCAP
+  subscriber sessions over a Unix socket, with bounded queues,
+  backpressure and replay).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 __all__ = ["main", "build_parser"]
 
@@ -102,6 +106,60 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("symmetric", help="reverse-pivot (Zigbee→BLE) bound")
 
+    serve = sub.add_parser(
+        "serve",
+        help="streaming sniffer service over a Unix socket (JSONL + PCAP)",
+    )
+    serve.add_argument(
+        "--socket", required=True, metavar="PATH", help="Unix socket to listen on"
+    )
+    serve.add_argument("--channel", type=int, default=14)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument(
+        "--frames",
+        type=int,
+        default=0,
+        help="stop after N transmitted frames (0 = run until SIGTERM)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="wall-clock pacing in frames/second (0 = flat out)",
+    )
+    serve.add_argument(
+        "--policy",
+        default="drop-oldest",
+        choices=("block", "drop-oldest", "disconnect-slow"),
+        help="default backpressure policy for subscribers that pick none",
+    )
+    serve.add_argument("--queue-depth", type=int, default=256)
+    serve.add_argument("--heartbeat", type=float, default=0.5, metavar="S")
+    serve.add_argument("--stall-timeout", type=float, default=2.0, metavar="S")
+    serve.add_argument("--idle-timeout", type=float, default=30.0, metavar="S")
+    serve.add_argument(
+        "--spool", metavar="FILE", default=None, help="crash-safe frame spool"
+    )
+    serve.add_argument(
+        "--replay",
+        metavar="SPOOL",
+        default=None,
+        help="serve a recorded spool instead of the live world",
+    )
+    serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PROFILE",
+        help="radio profile (clean, dropout, ...) or service profile "
+        "(svc-stall, svc-socket, svc-flood, svc-crash, svc-storm)",
+    )
+    serve.add_argument(
+        "--no-trace-stream",
+        action="store_true",
+        help="do not forward obs trace events to subscribers",
+    )
+    _add_obs_args(serve)
+
     return parser
 
 
@@ -176,13 +234,30 @@ def _cmd_table3(args) -> int:
     return 0
 
 
-def _finish_obs(args, registry, recorder) -> None:
-    """Write the trace file and print the metrics block, as requested."""
-    if recorder is not None:
-        from repro.obs import write_events_jsonl
+@contextmanager
+def _obs_scope(args) -> Iterator[tuple]:
+    """Open a private bus/registry scope with a *streaming* trace writer.
 
-        write_events_jsonl(recorder.as_dicts(), args.trace)
-        print(f"trace: {len(recorder.events)} events -> {args.trace}")
+    Unlike the old collect-then-write pattern, ``--trace`` attaches a
+    :class:`~repro.obs.JsonlTraceWriter` that flushes each event as it is
+    emitted and is closed in ``finally`` — a run that raises mid-
+    experiment still leaves a complete, closed JSONL file behind.
+    """
+    from repro.obs import JsonlTraceWriter, scoped
+
+    with scoped() as (bus, registry):
+        writer = JsonlTraceWriter(args.trace, bus) if args.trace is not None else None
+        try:
+            yield bus, registry
+        finally:
+            if writer is not None:
+                writer.close()
+                print(
+                    f"trace: {writer.events_written} events -> {args.trace}"
+                )
+
+
+def _print_metrics(args, registry) -> None:
     if args.metrics:
         print("[metrics]")
         print(registry.format())
@@ -190,12 +265,10 @@ def _finish_obs(args, registry, recorder) -> None:
 
 def _cmd_scenario_a(args) -> int:
     from repro.experiments.scenarios import run_scenario_a
-    from repro.obs import TraceRecorder, scoped
 
     # The scope opens before the scenario constructs its testbed, so every
     # component binds the command's private bus/registry pair.
-    with scoped() as (bus, registry):
-        recorder = TraceRecorder(bus) if args.trace is not None else None
+    with _obs_scope(args) as (_bus, registry):
         result = run_scenario_a(
             duration_s=args.duration, zigbee_channel=args.channel, seed=args.seed
         )
@@ -205,32 +278,30 @@ def _cmd_scenario_a(args) -> int:
             f"(hit rate {result.hit_rate:.4f}, CSA#2 expectation 0.0270)"
         )
         print(f"forged readings displayed: {result.injected_received}")
-        _finish_obs(args, registry, recorder)
+        _print_metrics(args, registry)
     return 0 if result.injected_received else 1
 
 
 def _cmd_scenario_b(args) -> int:
     from repro.attacks.scenario_b import AttackPhase
     from repro.experiments.scenarios import run_scenario_b
-    from repro.obs import TraceRecorder, scoped
 
-    with scoped() as (bus, registry):
-        recorder = TraceRecorder(bus) if args.trace is not None else None
+    with _obs_scope(args) as (_bus, registry):
         result = run_scenario_b(
             duration_s=args.duration,
             dos_channel=args.dos_channel,
             seed=args.seed,
             security_key=bytes(range(16)) if args.secure else None,
         )
-    for line in result.log:
-        print(line)
-    print(f"final phase:          {result.final_phase.value}")
-    print(f"sensor channel after: {result.sensor_channel_after}")
-    print(
-        f"display entries:      {result.legitimate_entries} legitimate, "
-        f"{result.spoofed_entries} spoofed"
-    )
-    _finish_obs(args, registry, recorder)
+        for line in result.log:
+            print(line)
+        print(f"final phase:          {result.final_phase.value}")
+        print(f"sensor channel after: {result.sensor_channel_after}")
+        print(
+            f"display entries:      {result.legitimate_entries} legitimate, "
+            f"{result.spoofed_entries} spoofed"
+        )
+        _print_metrics(args, registry)
     attack_succeeded = (
         result.final_phase is AttackPhase.DONE
         and result.sensor_channel_after == args.dos_channel
@@ -238,6 +309,84 @@ def _cmd_scenario_b(args) -> int:
     if args.secure:
         return 0 if not attack_succeeded else 1
     return 0 if attack_succeeded else 1
+
+
+def _cmd_serve(args) -> int:
+    import os
+    import signal
+    import time
+
+    from repro.faults import profile_names, service_profile_names
+    from repro.serve import ServeConfig, SnifferServer
+
+    chaos = service_chaos = None
+    if args.chaos is not None:
+        if args.chaos in service_profile_names():
+            service_chaos = args.chaos
+        elif args.chaos in profile_names():
+            chaos = args.chaos
+        else:
+            print(
+                f"unknown chaos profile {args.chaos!r}; choose from "
+                f"{', '.join(profile_names() + service_profile_names())}",
+                file=sys.stderr,
+            )
+            return 2
+    config = ServeConfig(
+        socket_path=args.socket,
+        channel=args.channel,
+        seed=args.seed,
+        frames=args.frames,
+        rate_fps=args.rate,
+        chaos=chaos,
+        service_chaos=service_chaos,
+        forward_trace=not args.no_trace_stream,
+        queue_depth=args.queue_depth,
+        default_policy=args.policy,
+        heartbeat_s=args.heartbeat,
+        stall_timeout_s=args.stall_timeout,
+        idle_timeout_s=args.idle_timeout,
+        spool_path=args.spool,
+        replay_path=args.replay,
+    )
+    with _obs_scope(args) as (_bus, registry):
+        server = SnifferServer(config)
+
+        def _on_signal(_signum, _frame):
+            server.request_shutdown()
+
+        # SIGTERM/SIGINT begin the drain: stop producing, flush every
+        # subscriber's queue, finalise the spool — never a torn stream.
+        previous = {
+            sig: signal.signal(sig, _on_signal)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            server.start()
+            print(f"serving on {args.socket} (pid {os.getpid()})")
+            sys.stdout.flush()
+            while not server.stop_event.is_set():
+                if server.source_finished:
+                    break
+                time.sleep(0.1)
+            ledger = server.shutdown(drain=True)
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+        print(f"produced:  {ledger['produced']} frames")
+        print(f"spooled:   {ledger['spooled']} records")
+        print(f"shed:      {ledger['shed']}")
+        for name, entry in sorted(ledger["sessions"].items()):
+            print(
+                f"session {name}: {entry['delivered']} delivered, "
+                f"{entry['dropped']} dropped, {entry['shed']} shed "
+                f"({entry['policy']}, close={entry['close_reason']})"
+            )
+        _print_metrics(args, registry)
+    if server.failed_stage is not None:
+        print(f"stage {server.failed_stage!r} exhausted its restarts", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_similarity(args) -> int:
@@ -275,6 +424,7 @@ _COMMANDS = {
     "scenario-b": _cmd_scenario_b,
     "similarity": _cmd_similarity,
     "symmetric": _cmd_symmetric,
+    "serve": _cmd_serve,
 }
 
 

@@ -17,7 +17,7 @@ from repro.core.radio_api import LowLevelRadio
 from repro.core.rx import DecodedFrame, WazaBeeReceiver
 from repro.core.tx import WazaBeeTransmitter
 from repro.dot15d4.frames import FrameType, MacFrame, build_beacon_request
-from repro.obs import MAC_RETRY
+from repro.obs import FIRMWARE_DROP, MAC_RETRY
 from repro.obs import metrics as _current_metrics
 from repro.obs import trace_bus as _current_bus
 from repro.radio.scheduler import Scheduler
@@ -74,6 +74,10 @@ class WazaBeeFirmware:
         #: ``rx.frames.valid_delivered + rx.frames.corrupt_delivered`` for
         #: deliveries made while the sniffer was running.
         self.raw_frames_seen: int = 0
+        #: How many decodes the ring buffer evicted to admit newer ones.
+        #: ``len(raw_frames) + raw_frames_dropped == raw_frames_seen`` at
+        #: all times — the eviction half of the raw-frame ledger.
+        self.raw_frames_dropped: int = 0
         self.trace = _current_bus()
         self.metrics = _current_metrics()
 
@@ -197,6 +201,18 @@ class WazaBeeFirmware:
         self._sniffing_channel = None
 
     def _on_frame(self, decoded: DecodedFrame) -> None:
+        if len(self.raw_frames) == self.raw_frames.maxlen:
+            # The deque is about to evict its oldest decode: account for
+            # it, so long sniffs never lose frames silently.
+            self.raw_frames_dropped += 1
+            self.metrics.counter("firmware.raw_frames_dropped").inc()
+            if self.trace.active:
+                self.trace.emit(
+                    FIRMWARE_DROP,
+                    time=self.scheduler.now,
+                    dropped_total=self.raw_frames_dropped,
+                    cap=self.raw_frames.maxlen,
+                )
         self.raw_frames.append(decoded)
         self.raw_frames_seen += 1
         self.metrics.counter("firmware.raw_frames").inc()

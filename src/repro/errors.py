@@ -17,11 +17,25 @@ The simulator distinguishes three failure families:
     :class:`RadioError` so capability gaps can be handled uniformly, and it
     is the *only* exception the WazaBee primitives swallow when probing
     optional radio features.
+``ServiceError``
+    The streaming sniffer service (``repro serve``) failed a supervision
+    or flow-control contract: a subscriber overflowed its bounded ring
+    under the ``block`` policy (:class:`SessionOverflow`), a session
+    stopped making progress past its stall timeout
+    (:class:`SessionStalled`), or a spool file is unreadable beyond its
+    crash-safe truncated tail (:class:`SpoolError`).
 """
 
 from __future__ import annotations
 
-__all__ = ["RadioError", "DecodeError"]
+__all__ = [
+    "RadioError",
+    "DecodeError",
+    "ServiceError",
+    "SessionOverflow",
+    "SessionStalled",
+    "SpoolError",
+]
 
 
 class RadioError(RuntimeError):
@@ -45,3 +59,40 @@ class DecodeError(RadioError):
         super().__init__(f"decode failed: {reason}")
         self.reason = reason
         self.mean_distance = mean_distance
+
+
+class ServiceError(RadioError):
+    """Base class for sniffer-service (``repro serve``) failures."""
+
+
+class SessionOverflow(ServiceError):
+    """A subscriber's bounded ring rejected a record.
+
+    Raised only under the ``block`` backpressure policy when the producer
+    waited the full stall timeout without the consumer freeing a slot —
+    the signal the session supervisor converts into a disconnect.
+    """
+
+    def __init__(self, session: str, capacity: int, waited_s: float):
+        super().__init__(
+            f"session {session!r} ring full (capacity {capacity}) "
+            f"after blocking {waited_s:.3f}s"
+        )
+        self.session = session
+        self.capacity = capacity
+        self.waited_s = waited_s
+
+
+class SessionStalled(ServiceError):
+    """A subscriber stopped consuming past its configured stall timeout."""
+
+    def __init__(self, session: str, stalled_s: float):
+        super().__init__(
+            f"session {session!r} made no progress for {stalled_s:.3f}s"
+        )
+        self.session = session
+        self.stalled_s = stalled_s
+
+
+class SpoolError(ServiceError):
+    """A spool file failed validation beyond its crash-safe partial tail."""

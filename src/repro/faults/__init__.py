@@ -23,6 +23,12 @@ from repro.faults.plan import (
     profile_names,
 )
 from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.service import (
+    ChaoticSink,
+    ServiceFaultPlan,
+    named_service_profile,
+    service_profile_names,
+)
 
 __all__ = [
     "CaptureTruncation",
@@ -36,4 +42,8 @@ __all__ = [
     "profile_names",
     "FaultInjector",
     "FaultStats",
+    "ChaoticSink",
+    "ServiceFaultPlan",
+    "named_service_profile",
+    "service_profile_names",
 ]

@@ -25,11 +25,15 @@ from repro.obs.events import (
     ATTACK_STAGE,
     EVENT_NAMES,
     FAULT_INJECTED,
+    FIRMWARE_DROP,
     MAC_RETRY,
     MEDIUM_DELIVERY,
     RX_CAPTURE,
     RX_DECODE,
     RX_FCS,
+    SERVE_SESSION,
+    SERVE_SHED,
+    SERVE_STAGE,
     TX_FRAME,
     TraceEvent,
 )
@@ -59,6 +63,10 @@ __all__ = [
     "MAC_RETRY",
     "FAULT_INJECTED",
     "ATTACK_STAGE",
+    "FIRMWARE_DROP",
+    "SERVE_SESSION",
+    "SERVE_SHED",
+    "SERVE_STAGE",
 ]
 
 

@@ -24,6 +24,10 @@ __all__ = [
     "MAC_RETRY",
     "FAULT_INJECTED",
     "ATTACK_STAGE",
+    "FIRMWARE_DROP",
+    "SERVE_SESSION",
+    "SERVE_SHED",
+    "SERVE_STAGE",
     "EVENT_NAMES",
 ]
 
@@ -46,6 +50,17 @@ MAC_RETRY = "mac.retry"
 FAULT_INJECTED = "fault.injected"
 #: An attack workflow changed stage.
 ATTACK_STAGE = "attack.stage"
+#: The firmware's bounded raw-frame ring evicted its oldest entry to make
+#: room for a new decode (the ``raw_frames_dropped`` ledger's trace twin).
+FIRMWARE_DROP = "firmware.drop"
+#: A sniffer-service subscriber session changed state (connected,
+#: disconnected, stalled, drained).
+SERVE_SESSION = "serve.session"
+#: The sniffer service moved between overload-degradation levels (sheds
+#: trace records first, then corrupt frames, then downsamples).
+SERVE_SHED = "serve.shed"
+#: A supervised service pipeline stage crashed, restarted, or gave up.
+SERVE_STAGE = "serve.stage"
 
 #: The closed vocabulary — JSONL consumers and the ledger tests key on it.
 EVENT_NAMES = frozenset(
@@ -58,6 +73,10 @@ EVENT_NAMES = frozenset(
         MAC_RETRY,
         FAULT_INJECTED,
         ATTACK_STAGE,
+        FIRMWARE_DROP,
+        SERVE_SESSION,
+        SERVE_SHED,
+        SERVE_STAGE,
     }
 )
 

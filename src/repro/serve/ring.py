@@ -1,0 +1,132 @@
+"""Per-subscriber bounded ring buffer with explicit overflow accounting.
+
+One :class:`BoundedRing` sits between the broadcast stage and each
+subscriber's writer thread.  The ring itself is policy-free — it offers
+the three primitive admissions the backpressure policies are built from
+(``try_push`` / ``push_evict`` / ``push_wait``) and keeps the counters
+the drop ledger reconciles: everything pushed is eventually popped,
+evicted, or drained; everything rejected is counted at the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["BoundedRing"]
+
+
+class BoundedRing:
+    """Thread-safe bounded FIFO with eviction and blocking admission."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        # Ledger counters (guarded by _lock).
+        self.pushed = 0
+        self.popped = 0
+        self.evicted = 0
+        self.high_water = 0
+
+    # -- producers ----------------------------------------------------------
+    def try_push(self, item: Any) -> bool:
+        """Admit *item* if a slot is free; never blocks, never evicts."""
+        with self._lock:
+            if len(self._items) >= self.capacity:
+                return False
+            self._admit(item)
+            return True
+
+    def push_evict(self, item: Any) -> Optional[Any]:
+        """Admit *item*, evicting the oldest entry when full.
+
+        Returns the evicted record (so the caller can count what class of
+        record was lost) or ``None`` when no eviction was needed.
+        """
+        with self._lock:
+            victim = None
+            if len(self._items) >= self.capacity:
+                victim = self._items.popleft()
+                self.evicted += 1
+            self._admit(item)
+            return victim
+
+    def push_wait(self, item: Any, timeout_s: float) -> bool:
+        """Admit *item*, waiting up to *timeout_s* for a free slot.
+
+        The ``block`` backpressure policy: the producer is throttled to
+        the consumer's pace.  Returns False when the wait expired with
+        the ring still full — the caller's cue to declare the session
+        stalled.
+        """
+        deadline = _time.monotonic() + timeout_s
+        with self._not_full:
+            while len(self._items) >= self.capacity:
+                remaining = deadline - _time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._not_full.wait(remaining)
+            self._admit(item)
+            return True
+
+    def _admit(self, item: Any) -> None:
+        self._items.append(item)
+        self.pushed += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+        self._not_empty.notify()
+
+    # -- consumer -----------------------------------------------------------
+    def pop(self, timeout_s: Optional[float] = None) -> Optional[Any]:
+        """Take the oldest record; ``None`` on timeout."""
+        with self._not_empty:
+            if not self._items and timeout_s is not None:
+                self._not_empty.wait(timeout_s)
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self.popped += 1
+            self._not_full.notify()
+            return item
+
+    def drain(self) -> List[Any]:
+        """Remove and return everything queued (shutdown flush)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self.popped += len(items)
+            self._not_full.notify_all()
+            return items
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def fill_fraction(self) -> float:
+        """Queue pressure in [0, 1] — the shed ladder's input."""
+        with self._lock:
+            return len(self._items) / self.capacity
+
+    def snapshot(self) -> List[Any]:
+        """A consistent copy of the queued items (ledger inspection)."""
+        with self._lock:
+            return list(self._items)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "pushed": self.pushed,
+                "popped": self.popped,
+                "evicted": self.evicted,
+                "queued": len(self._items),
+                "high_water": self.high_water,
+            }

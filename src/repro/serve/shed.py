@@ -1,0 +1,96 @@
+"""Graceful overload degradation: the shed ladder.
+
+Under queue pressure the service degrades in a strict order — cheap
+observability first, protocol-relevant data last:
+
+* **level 1** — shed ``trace`` records (the obs firehose);
+* **level 2** — additionally shed corrupt frames (``fcs_ok`` false);
+* **level 3** — additionally downsample valid frames, delivering one in
+  ``keep_every``.
+
+The ordering is an invariant the tests pin: a valid frame is never shed
+while trace records are still being delivered.  Levels step up the
+moment pressure crosses a threshold and step back down only after
+pressure falls below ``threshold - hysteresis``, so a ring oscillating
+around a boundary does not flap announcements at subscribers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["SHED_LEVEL_NAMES", "DegradeLadder"]
+
+#: Human-readable names, indexed by level — used in notices and metrics.
+SHED_LEVEL_NAMES = ("none", "trace", "corrupt", "downsample")
+
+
+class DegradeLadder:
+    """Pressure-driven admission control with hysteresis.
+
+    Not thread-safe by itself; the broadcast stage is the single caller.
+    """
+
+    def __init__(
+        self,
+        shed_trace_at: float = 0.50,
+        shed_corrupt_at: float = 0.75,
+        downsample_at: float = 0.90,
+        hysteresis: float = 0.15,
+        keep_every: int = 4,
+    ):
+        if not 0.0 < shed_trace_at <= shed_corrupt_at <= downsample_at <= 1.0:
+            raise ValueError(
+                "thresholds must satisfy 0 < trace <= corrupt <= downsample <= 1"
+            )
+        if keep_every < 1:
+            raise ValueError("keep_every must be >= 1")
+        self._up = (shed_trace_at, shed_corrupt_at, downsample_at)
+        self.hysteresis = hysteresis
+        self.keep_every = keep_every
+        self.level = 0
+        self._valid_counter = 0
+        # Shed tallies by class, for the ledger.
+        self.shed: Dict[str, int] = {"trace": 0, "corrupt": 0, "downsample": 0}
+
+    def update(self, pressure: float) -> Optional[int]:
+        """Re-evaluate the level for *pressure*; returns it when changed."""
+        new_level = self.level
+        # Step up through every threshold the pressure now clears.
+        while new_level < 3 and pressure >= self._up[new_level]:
+            new_level += 1
+        # Step down only past the hysteresis band.
+        while new_level > 0 and pressure < self._up[new_level - 1] - self.hysteresis:
+            new_level -= 1
+        if new_level == self.level:
+            return None
+        self.level = new_level
+        return new_level
+
+    def admit(self, record: Dict[str, Any]) -> Tuple[bool, Optional[str]]:
+        """Decide one record's fate at the current level.
+
+        Returns ``(admitted, shed_class)``; *shed_class* is ``"trace"``,
+        ``"corrupt"`` or ``"downsample"`` when the record was shed.
+        Control records (notices, heartbeats, byes) always pass — they
+        are how degradation is announced.
+        """
+        kind = record.get("type")
+        if kind == "trace":
+            if self.level >= 1:
+                self.shed["trace"] += 1
+                return False, "trace"
+            return True, None
+        if kind != "frame":
+            return True, None
+        if not record.get("fcs_ok", True):
+            if self.level >= 2:
+                self.shed["corrupt"] += 1
+                return False, "corrupt"
+            return True, None
+        if self.level >= 3 and self.keep_every > 1:
+            self._valid_counter += 1
+            if self._valid_counter % self.keep_every != 1:
+                self.shed["downsample"] += 1
+                return False, "downsample"
+        return True, None

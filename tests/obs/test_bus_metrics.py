@@ -69,6 +69,10 @@ class TestTraceBus:
             "mac.retry",
             "fault.injected",
             "attack.stage",
+            "firmware.drop",
+            "serve.session",
+            "serve.shed",
+            "serve.stage",
         } == set(EVENT_NAMES)
 
 

@@ -100,6 +100,49 @@ class TestSnifferAccounting:
             )
 
 
+class TestRawFrameCapAccounting:
+    def test_ring_buffer_eviction_is_counted_never_silent(self):
+        """When ``raw_frames`` hits its cap, evictions are tallied in
+        ``raw_frames_dropped``, the metrics counter and a trace event —
+        the invariant ``len(raw_frames) + dropped == seen`` always holds."""
+        from collections import deque
+
+        from repro.obs import FIRMWARE_DROP
+
+        cap = 6
+        with scoped() as (bus, registry):
+            recorder = TraceRecorder(bus)
+            testbed, reference, firmware = _stand_up()
+            # Shrink the retention ring so a short drive overflows it.
+            firmware.raw_frames = deque(maxlen=cap)
+            firmware.start_sniffer(CHANNEL, lambda _f, _d: None)
+            _drive(testbed, reference)
+            firmware.stop_sniffer()
+
+            assert firmware.raw_frames_seen > cap  # the cap was exceeded
+            assert len(firmware.raw_frames) == cap
+            expected_drops = firmware.raw_frames_seen - cap
+            assert firmware.raw_frames_dropped == expected_drops
+            counters = registry.counter_values()
+            assert counters["firmware.raw_frames_dropped"] == expected_drops
+            # One trace event per eviction, and the last one carries the
+            # running total.
+            drops = [e for e in recorder.events if e.name == FIRMWARE_DROP]
+            assert len(drops) == expected_drops
+            assert drops[-1].fields["dropped_total"] == expected_drops
+            assert drops[-1].fields["cap"] == cap
+
+    def test_no_drops_below_the_cap(self):
+        with scoped() as (_bus, registry):
+            testbed, reference, firmware = _stand_up()
+            firmware.start_sniffer(CHANNEL, lambda _f, _d: None)
+            _drive(testbed, reference)
+            firmware.stop_sniffer()
+            assert firmware.raw_frames_seen <= 4096  # RAW_FRAME_CAP
+            assert firmware.raw_frames_dropped == 0
+            assert "firmware.raw_frames_dropped" not in registry.counter_values()
+
+
 class TestNoCorruptHandlerAccounting:
     def test_corrupt_drops_mirror_the_drop_counter(self):
         """Without a corrupt handler, FCS-failed frames are dropped and

@@ -1,0 +1,141 @@
+"""The ``repro serve`` CLI and the crash-safe ``--trace`` plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestServeCommand:
+    def test_bounded_run_exits_cleanly_and_prints_the_ledger(
+        self, tmp_path, capsys
+    ):
+        socket_path = str(tmp_path / "cli.sock")
+        spool_path = str(tmp_path / "cli.spool")
+        code = main(
+            [
+                "serve",
+                "--socket",
+                socket_path,
+                "--frames",
+                "8",
+                "--rate",
+                "0",
+                "--spool",
+                spool_path,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "produced:  8 frames" in out
+        assert "spooled:   8 records" in out
+        from repro.serve import SpoolReader
+
+        assert SpoolReader(spool_path).complete
+
+    def test_replay_round_trip_through_the_cli(self, tmp_path, capsys):
+        socket_path = str(tmp_path / "cli.sock")
+        spool_path = str(tmp_path / "cli.spool")
+        assert (
+            main(
+                [
+                    "serve",
+                    "--socket",
+                    socket_path,
+                    "--frames",
+                    "6",
+                    "--rate",
+                    "0",
+                    "--spool",
+                    spool_path,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            ["serve", "--socket", socket_path, "--rate", "0", "--replay", spool_path]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "produced:  6 frames" in out
+
+    def test_unknown_chaos_profile_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--socket",
+                str(tmp_path / "x.sock"),
+                "--frames",
+                "1",
+                "--chaos",
+                "no-such-profile",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown chaos profile" in err
+        assert "svc-storm" in err  # both namespaces are suggested
+
+    def test_service_chaos_profile_is_dispatched(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--socket",
+                str(tmp_path / "c.sock"),
+                "--frames",
+                "12",
+                "--rate",
+                "0",
+                "--chaos",
+                "svc-flood",
+                "--metrics",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults.service.floods" in out
+
+
+class TestTraceCrashSafety:
+    """Satellite: ``--trace`` must leave a flushed, closed JSONL file even
+    when the run raises mid-experiment."""
+
+    def test_trace_file_is_complete_after_a_mid_run_crash(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.experiments.scenarios as scenarios
+
+        trace_path = tmp_path / "crash-trace.jsonl"
+
+        def exploding(*_args, **_kwargs):
+            # Emit through the *scoped* bus the CLI opened, then die —
+            # the writer must still flush and close these events.
+            from repro.obs import ATTACK_STAGE, trace_bus
+
+            bus = trace_bus()
+            for seq in range(3):
+                bus.emit(ATTACK_STAGE, scenario="test", stage="pre-crash")
+            raise RuntimeError("mid-experiment crash")
+
+        monkeypatch.setattr(scenarios, "run_scenario_a", exploding)
+        with pytest.raises(RuntimeError, match="mid-experiment crash"):
+            main(["scenario-a", "--trace", str(trace_path)])
+        out = capsys.readouterr().out
+        # The finally-path reported the write...
+        assert f"trace: 3 events -> {trace_path}" in out
+        # ...and every line parses: nothing was lost in a dangling buffer.
+        lines = trace_path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        assert all(
+            json.loads(line)["event"] == "attack.stage" for line in lines
+        )
+
+    def test_trace_file_streams_during_a_healthy_run(self, tmp_path, capsys):
+        trace_path = tmp_path / "ok-trace.jsonl"
+        main(["scenario-a", "--duration", "5", "--trace", str(trace_path)])
+        capsys.readouterr()
+        lines = trace_path.read_text().strip().splitlines()
+        assert lines
+        assert all(json.loads(line) for line in lines)

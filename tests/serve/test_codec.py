@@ -1,0 +1,82 @@
+"""Wire codecs: deterministic JSONL and the DLT-195 pcap round trip."""
+
+import pytest
+
+from repro.errors import SpoolError
+from repro.serve.codec import (
+    DLT_IEEE802_15_4,
+    PCAP_SNAPLEN,
+    decode_jsonl,
+    encode_jsonl,
+    encode_pcap_record,
+    frame_record,
+    heartbeat_record,
+    notice_record,
+    parse_pcap,
+    pcap_global_header,
+    trace_record,
+)
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        record = frame_record(3, 0.125, 14, b"\xaa\xbb\xcc", fcs_ok=True)
+        assert decode_jsonl(encode_jsonl(record)) == record
+
+    def test_encoding_is_deterministic_across_key_order(self):
+        # sort_keys is what makes spool replay byte-for-byte comparable.
+        a = {"b": 1, "a": 2, "type": "frame"}
+        b = {"type": "frame", "a": 2, "b": 1}
+        assert encode_jsonl(a) == encode_jsonl(b)
+
+    def test_record_constructors_stamp_their_type(self):
+        assert frame_record(0, 0.0, 14, b"", True)["type"] == "frame"
+        assert trace_record({"event": "x"})["type"] == "trace"
+        assert notice_record("drain")["type"] == "notice"
+        assert heartbeat_record(1.0, 2)["type"] == "heartbeat"
+
+    def test_psdu_travels_as_hex(self):
+        record = frame_record(0, 0.0, 14, b"\x01\x02\xff", True)
+        assert bytes.fromhex(record["psdu"]) == b"\x01\x02\xff"
+
+
+class TestPcap:
+    def test_header_and_record_parse_back(self):
+        psdu = bytes(range(10))
+        data = pcap_global_header() + encode_pcap_record(
+            frame_record(0, 1.5, 14, psdu, True)
+        )
+        header, packets = parse_pcap(data)
+        assert header["network"] == DLT_IEEE802_15_4 == 195
+        assert header["version"] == (2, 4)
+        assert header["snaplen"] == PCAP_SNAPLEN
+        assert len(packets) == 1
+        assert packets[0]["psdu"] == psdu
+        assert packets[0]["time"] == pytest.approx(1.5)
+
+    def test_control_records_have_no_pcap_representation(self):
+        assert encode_pcap_record(notice_record("drain")) == b""
+        assert encode_pcap_record(heartbeat_record(0.0, 0)) == b""
+
+    def test_timestamp_rounding_never_overflows_microseconds(self):
+        data = encode_pcap_record(
+            frame_record(0, 2.9999999, 14, b"\x00", True)
+        )
+        header, packets = parse_pcap(pcap_global_header() + data)
+        assert packets[0]["time"] == pytest.approx(3.0)
+
+    def test_truncated_record_raises(self):
+        good = pcap_global_header() + encode_pcap_record(
+            frame_record(0, 0.0, 14, b"\x01\x02\x03", True)
+        )
+        with pytest.raises(SpoolError, match="truncated"):
+            parse_pcap(good[:-1])
+
+    def test_bad_magic_raises(self):
+        data = b"\x00" * 24
+        with pytest.raises(SpoolError, match="magic"):
+            parse_pcap(data)
+
+    def test_short_stream_raises(self):
+        with pytest.raises(SpoolError, match="shorter"):
+            parse_pcap(b"\x01")

@@ -1,0 +1,116 @@
+"""Unit tests for the bounded ring: admissions, eviction, conservation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import BoundedRing
+
+
+class TestAdmissions:
+    def test_try_push_rejects_when_full(self):
+        ring = BoundedRing(2)
+        assert ring.try_push("a") and ring.try_push("b")
+        assert not ring.try_push("c")
+        assert len(ring) == 2
+        assert ring.pop() == "a"  # FIFO order preserved
+
+    def test_push_evict_returns_the_victim(self):
+        ring = BoundedRing(2)
+        ring.try_push("a")
+        ring.try_push("b")
+        assert ring.push_evict("c") == "a"
+        assert ring.snapshot() == ["b", "c"]
+        assert ring.evicted == 1
+
+    def test_push_evict_without_pressure_evicts_nothing(self):
+        ring = BoundedRing(2)
+        assert ring.push_evict("a") is None
+        assert ring.evicted == 0
+
+    def test_push_wait_times_out_on_a_full_ring(self):
+        ring = BoundedRing(1)
+        ring.try_push("a")
+        start = time.monotonic()
+        assert not ring.push_wait("b", timeout_s=0.05)
+        assert time.monotonic() - start >= 0.04
+        assert ring.snapshot() == ["a"]
+
+    def test_push_wait_succeeds_when_a_consumer_frees_a_slot(self):
+        ring = BoundedRing(1)
+        ring.try_push("a")
+        popped = []
+
+        def consumer():
+            time.sleep(0.03)
+            popped.append(ring.pop())
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        # Blocks until the consumer pops, then admits: true backpressure.
+        assert ring.push_wait("b", timeout_s=2.0)
+        thread.join()
+        assert popped == ["a"]
+        assert ring.snapshot() == ["b"]
+
+
+class TestConsumers:
+    def test_pop_timeout_returns_none(self):
+        ring = BoundedRing(4)
+        assert ring.pop(timeout_s=0.01) is None
+
+    def test_drain_empties_and_returns_in_order(self):
+        ring = BoundedRing(4)
+        for item in "abc":
+            ring.try_push(item)
+        assert ring.drain() == ["a", "b", "c"]
+        assert len(ring) == 0
+
+
+class TestLedger:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedRing(0)
+
+    def test_conservation_pushed_equals_popped_plus_evicted_plus_queued(self):
+        ring = BoundedRing(3)
+        for i in range(10):
+            ring.push_evict(i)
+        ring.pop()
+        stats = ring.stats()
+        assert stats["pushed"] == 10
+        assert (
+            stats["pushed"]
+            == stats["popped"] + stats["evicted"] + stats["queued"]
+        )
+        assert stats["high_water"] == 3
+        assert ring.fill_fraction == pytest.approx(2 / 3)
+
+    def test_conservation_holds_under_concurrent_producers(self):
+        ring = BoundedRing(8)
+        stop = threading.Event()
+
+        def producer(base):
+            for i in range(200):
+                ring.push_evict((base, i))
+
+        def consumer():
+            while not stop.is_set() or len(ring) > 0:
+                ring.pop(timeout_s=0.005)
+
+        threads = [threading.Thread(target=producer, args=(b,)) for b in range(3)]
+        drainer = threading.Thread(target=consumer)
+        drainer.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        drainer.join()
+        stats = ring.stats()
+        assert stats["pushed"] == 600
+        assert (
+            stats["pushed"]
+            == stats["popped"] + stats["evicted"] + stats["queued"]
+        )

@@ -1,0 +1,106 @@
+"""Unix-socket transport: handshake, concurrent formats, bad clients."""
+
+import socket
+import time
+
+from repro.obs import scoped
+from repro.serve import ServeConfig, SnifferServer, parse_pcap, subscribe
+
+
+def _server(tmp_path, **overrides):
+    defaults = dict(
+        socket_path=str(tmp_path / "serve.sock"),
+        frames=30,
+        rate_fps=100.0,  # paced, so clients connect before production ends
+        seed=3,
+        idle_timeout_s=0.0,
+        drain_timeout_s=10.0,
+    )
+    defaults.update(overrides)
+    return SnifferServer(ServeConfig(**defaults))
+
+
+def _wait_done(server, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if server.source_finished:
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestSocketTransport:
+    def test_jsonl_and_pcap_subscribers_share_one_stream(self, tmp_path):
+        with scoped():
+            server = _server(tmp_path)
+            server.start()
+            path = server.config.socket_path
+            with subscribe(path, fmt="jsonl", name="text") as text_client:
+                pcap_client = subscribe(path, fmt="pcap", name="cap")
+                frames = list(text_client.frames(10))
+                assert [f["seq"] for f in frames] == list(range(10))
+                assert all(
+                    bytes.fromhex(f["psdu"]) for f in frames
+                )
+                assert _wait_done(server)
+                capture = pcap_client.read_all(idle_rounds=2)
+                pcap_client.close()
+            ledger = server.shutdown(drain=True)
+            header, packets = parse_pcap(capture)
+            assert header["network"] == 195
+            assert len(packets) == ledger["produced"] == 30
+            # Socket sessions appear on the ledger like any other.
+            assert "cap" in ledger["sessions"]
+            assert ledger["sessions"]["cap"]["delivered"] == 30
+
+    def test_bad_handshake_does_not_kill_the_accept_loop(self, tmp_path):
+        with scoped() as (_bus, registry):
+            server = _server(tmp_path, frames=10, rate_fps=50.0)
+            server.start()
+            path = server.config.socket_path
+            # A liar client: garbage instead of a JSON hello.
+            bad = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            bad.connect(path)
+            bad.sendall(b"GET / HTTP/1.1\r\n\r\n")
+            bad.close()
+            deadline = time.monotonic() + 10.0
+            while (
+                registry.counter_values().get("serve.sessions.bad_handshake", 0)
+                == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert (
+                registry.counter_values()["serve.sessions.bad_handshake"] == 1
+            )
+            # A well-behaved client connecting afterwards is still served.
+            with subscribe(path, fmt="jsonl", name="good") as client:
+                assert len(list(client.frames(3))) == 3
+            server.shutdown(drain=True)
+
+    def test_shutdown_unlinks_the_socket_path(self, tmp_path):
+        import os
+
+        with scoped():
+            server = _server(tmp_path, frames=3, rate_fps=0.0)
+            server.start()
+            path = server.config.socket_path
+            assert os.path.exists(path)
+            assert _wait_done(server)
+            server.shutdown(drain=True)
+            assert not os.path.exists(path)
+
+    def test_client_chosen_policy_lands_on_the_session(self, tmp_path):
+        with scoped():
+            server = _server(tmp_path, frames=5, rate_fps=50.0)
+            server.start()
+            with subscribe(
+                server.config.socket_path,
+                fmt="jsonl",
+                policy="block",
+                name="chooser",
+            ) as client:
+                list(client.frames(2))
+            _wait_done(server)
+            ledger = server.shutdown(drain=True)
+            assert ledger["sessions"]["chooser"]["policy"] == "block"

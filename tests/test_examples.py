@@ -38,6 +38,11 @@ def _shrink_smartphone_injection(module):
     )
 
 
+def _shrink_live_sniffer(module):
+    # 12 streamed frames still exercise subscribe -> decode -> IDS.
+    module.FRAMES = 12
+
+
 def _shrink_tracker_attack(module):
     # The attack chain completes well inside 30 simulated seconds.
     original = module.run_scenario_b
@@ -51,6 +56,7 @@ EXAMPLES = {
     "quickstart": (None, "both primitives work"),
     "cross_modulation_tour": (None, ""),
     "energy_depletion": (_shrink_energy_depletion, "baseline:"),
+    "live_sniffer": (_shrink_live_sniffer, "IDS alert [new-band]"),
     "sixlowpan_exfiltration": (None, ""),
     "smartphone_injection": (_shrink_smartphone_injection, "advertising events"),
     "spectrum_ids": (None, ""),

@@ -1,4 +1,4 @@
-"""``python -m benchmarks.perf`` — run the perf suite, write BENCH_PR2.json."""
+"""``python -m benchmarks.perf`` — run the perf suite, write BENCH_PR8.json."""
 
 import sys
 

@@ -74,7 +74,11 @@ def _noisy_captures(count: int, payload_size: int, seed: int = 11):
 def bench_decode_throughput(quick: bool = False) -> List[BenchRecord]:
     frames = 20 if quick else 200
     payload_size = 40
-    repeats = 3 if quick else 5
+    # Keep 5 repeats even in quick mode: the enforced speedup ratio is
+    # best-of-vectorised vs best-of-scalar, and at quick workload sizes a
+    # single stalled repeat on one side can push the ratio through the
+    # regression floor.  Extra repeats are cheap; best-of absorbs stalls.
+    repeats = 5
     captures = _noisy_captures(frames, payload_size)
 
     # Warm-up + cross-check: both paths must agree before we time them.

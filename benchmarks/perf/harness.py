@@ -1,10 +1,10 @@
 """Timing harness and JSON report writer for the perf suite.
 
-``BENCH_PR5.json`` schema (``wazabee-bench/1``)::
+``BENCH_PR8.json`` schema (``wazabee-bench/1``)::
 
     {
       "schema": "wazabee-bench/1",
-      "suite": "BENCH_PR5",
+      "suite": "BENCH_PR8",
       "quick": false,
       "python": "3.12.3",
       "numpy": "1.26.4",
@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 SCHEMA = "wazabee-bench/1"
-SUITE = "BENCH_PR5"
+SUITE = "BENCH_PR8"
 
 #: Throughput floor, as a fraction of the committed baseline, below which
 #: the suite exits non-zero (the CI regression gate).
@@ -58,6 +58,7 @@ REGRESSION_FLOOR = 0.7
 ENFORCED_RATIOS = (
     ("decode_throughput_vectorised", "speedup_vs_scalar"),
     ("modulate_cached", "speedup_vs_direct"),
+    ("table3_sweep_wideband", "speedup_vs_sequential"),
 )
 
 
@@ -94,6 +95,7 @@ def run_suite(quick: bool = False) -> List[BenchRecord]:
     keeping every code path exercised.
     """
     from benchmarks.perf.bench_capture import bench_compose_capture
+    from benchmarks.perf.bench_channelizer import bench_channelizer
     from benchmarks.perf.bench_decode import bench_decode_throughput
     from benchmarks.perf.bench_modulate import bench_modulate
     from benchmarks.perf.bench_sync import bench_sync
@@ -105,6 +107,7 @@ def run_suite(quick: bool = False) -> List[BenchRecord]:
     records.extend(bench_sync(quick=quick))
     records.extend(bench_compose_capture(quick=quick))
     records.extend(bench_table3_cell(quick=quick))
+    records.extend(bench_channelizer(quick=quick))
     return records
 
 
@@ -115,11 +118,17 @@ def compare_reports(current: Dict, baseline: Dict) -> List[str]:
     returned list holds one message per :data:`ENFORCED_RATIOS` entry that
     fell below :data:`REGRESSION_FLOOR` × its baseline — empty means the
     gate passes.
+
+    A baseline written before a benchmark (or its ratio key) existed
+    simply lacks the entry — the gate *skips* that pair with a printed
+    note instead of failing, so adding a benchmark never requires
+    rewriting history.  The pair starts gating with the first baseline
+    that records it.
     """
     base_benches = baseline.get("benchmarks", {})
     for name, body in sorted(current.get("benchmarks", {}).items()):
         base = base_benches.get(name)
-        if base is None:
+        if base is None or "value" not in base:
             print(f"{name:40s} {body['value']:>14.3f} {body['metric']} (new)")
             continue
         delta = (
@@ -135,10 +144,15 @@ def compare_reports(current: Dict, baseline: Dict) -> List[str]:
     for name, key in ENFORCED_RATIOS:
         body = current.get("benchmarks", {}).get(name)
         base = base_benches.get(name)
-        if body is None or base is None:
+        if body is None:
             continue
-        now, then = body["extra"].get(key), base["extra"].get(key)
+        now = body.get("extra", {}).get(key)
+        then = (base or {}).get("extra", {}).get(key)
         if now is None or then is None or then <= 0:
+            print(
+                f"gate skip: {name}.{key} has no baseline value "
+                f"(added after the baseline was recorded)"
+            )
             continue
         if now < REGRESSION_FLOOR * then:
             regressions.append(
@@ -188,7 +202,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf",
-        description="run the WazaBee perf suite and write BENCH_PR5.json",
+        description="run the WazaBee perf suite and write BENCH_PR8.json",
     )
     parser.add_argument(
         "--quick",
@@ -198,8 +212,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--output",
-        default="BENCH_PR5.json",
-        help="report path (default: ./BENCH_PR5.json)",
+        default="BENCH_PR8.json",
+        help="report path (default: ./BENCH_PR8.json)",
     )
     parser.add_argument(
         "--baseline",

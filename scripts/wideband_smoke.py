@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI smoke for the wideband 16-channel receiver.
+
+Exercises the operational wideband path end to end on a reduced sweep
+(3 channels × 10 frames):
+
+* the real CLI — ``python -m repro table3 --wideband`` as a subprocess,
+  checking it renders a Table III and exits 0;
+* the differential contract — the spectral production path, the
+  time-domain subsystem path (compose_band + polyphase channelizer) and
+  the per-channel sequential reference must classify every
+  (chip, primitive, channel) cell identically, because all three consume
+  the same per-channel random streams.
+
+Run locally:  PYTHONPATH=src python scripts/wideband_smoke.py
+"""
+
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+CHANNELS = (11, 18, 26)
+FRAMES = 10
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def cells_of(result):
+    return {
+        (chip, primitive, channel): (
+            cell.valid,
+            cell.corrupted,
+            cell.lost,
+        )
+        for (chip, primitive), rows in result.cells.items()
+        for channel, cell in rows.items()
+    }
+
+
+def main() -> None:
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    cli = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "table3",
+            "--wideband",
+            "--channels",
+            *[str(c) for c in CHANNELS],
+            "--frames",
+            str(FRAMES),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if cli.returncode != 0:
+        sys.stderr.write(cli.stderr)
+        fail(f"CLI wideband sweep exited {cli.returncode}")
+    if "wideband sweep" not in cli.stdout or "Channel" not in cli.stdout:
+        fail("CLI wideband sweep did not render a Table III")
+    print(f"CLI sweep OK ({len(cli.stdout.splitlines())} output lines)")
+
+    from repro.experiments.table3 import run_table3_wideband
+
+    results = {
+        mode: run_table3_wideband(
+            frames=FRAMES, channels=CHANNELS, mode=mode
+        )
+        for mode in ("spectral", "time", "sequential")
+    }
+    reference = cells_of(results["sequential"])
+    if len(reference) != 2 * 2 * len(CHANNELS):
+        fail(f"expected {2 * 2 * len(CHANNELS)} cells, got {len(reference)}")
+    for key, (valid, corrupted, lost) in reference.items():
+        if valid + corrupted + lost != FRAMES:
+            fail(f"cell {key} does not account for every frame")
+    for mode in ("spectral", "time"):
+        mismatches = [
+            (key, cells_of(results[mode])[key], reference[key])
+            for key in reference
+            if cells_of(results[mode])[key] != reference[key]
+        ]
+        if mismatches:
+            for key, got, want in mismatches:
+                print(
+                    f"  {mode} {key}: {got} != sequential {want}",
+                    file=sys.stderr,
+                )
+            fail(f"{mode} path diverged from the sequential reference")
+        print(f"{mode} == sequential across all {len(reference)} cells")
+    print("wideband smoke OK")
+
+
+if __name__ == "__main__":
+    main()

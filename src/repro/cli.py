@@ -4,7 +4,8 @@ Gives downstream users one-command access to every reproduction artefact:
 
 * ``table1`` / ``table2`` / ``alg1`` — print the paper's static tables;
 * ``table3`` — run the per-channel primitive assessment (configurable
-  frame count, chips, channels);
+  frame count, chips, channels; ``--wideband`` sweeps every channel at
+  once from polyphase-channelized band captures);
 * ``scenario-a`` / ``scenario-b`` — run the attack scenarios (Scenario B
   optionally against an AES-CCM*-secured network);
 * ``similarity`` — compute the modulation-similarity matrix;
@@ -80,6 +81,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PROFILE",
         help="run under a named fault-injection profile "
         "(clean, dropout, drifting, flaky-rx, harsh, jammer)",
+    )
+    t3.add_argument(
+        "--wideband",
+        action="store_true",
+        help="sweep all channels at once from wideband band captures "
+        "(polyphase channelizer + batched tensor decode) instead of one "
+        "narrowband testbed per cell",
+    )
+    t3.add_argument(
+        "--wideband-mode",
+        choices=("spectral", "time", "sequential"),
+        default="spectral",
+        help="wideband front-end path: 'spectral' (production fast path), "
+        "'time' (compose_band + channelize through the real subsystem) or "
+        "'sequential' (per-channel differential reference); all three "
+        "draw identical random streams",
     )
     _add_obs_args(t3)
 
@@ -202,6 +219,34 @@ def _cmd_table3(args) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.wideband:
+        from repro.experiments.table3 import run_table3_wideband
+
+        if args.chaos is not None or args.trace is not None:
+            print(
+                "--wideband does not combine with --chaos or --trace "
+                "(the wideband sweep has its own physics path and scoped "
+                "per-pair registries)",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_table3_wideband(
+            frames=args.frames,
+            channels=channels,
+            chips=tuple(args.chips),
+            seed=args.seed,
+            mode=args.wideband_mode,
+            workers=args.workers,
+        )
+        print(f"wideband sweep (mode: {args.wideband_mode})")
+        print(format_table3(result))
+        if args.metrics:
+            for (chip, primitive), rows in sorted(result.cells.items()):
+                first_channel = min(rows)
+                print(f"[metrics {chip}/{primitive} (pair-wide)]")
+                for name, value in rows[first_channel].metrics.items():
+                    print(f"  {name} = {value}")
+        return 0
     result = run_table3(
         frames=args.frames,
         channels=channels,

@@ -34,7 +34,7 @@ from repro.obs import RX_CAPTURE, RX_DECODE, RX_FCS
 from repro.obs import metrics as _current_metrics
 from repro.obs import sim_now
 from repro.obs import trace_bus as _current_bus
-from repro.phy.ieee802154 import MAX_PSDU_SIZE, Ppdu
+from repro.phy.ieee802154 import MAX_PSDU_SIZE, Ppdu, symbol_confidences
 
 __all__ = ["DecodedFrame", "decode_payload_bits", "WazaBeeReceiver"]
 
@@ -68,9 +68,12 @@ class DecodedFrame:
         1.0, the worst credible match (distance 15, half the minimum
         inter-sequence distance away from everything) scores ~0.5.  The
         FCS-failed salvage path uses these to point at the corrupted
-        region of a frame.
+        region of a frame.  The mapping itself is
+        :func:`repro.phy.ieee802154.symbol_confidences`, shared with the
+        batched wideband pipeline so soft decisions from either receive
+        path are directly comparable.
         """
-        return [1.0 - d / 31.0 for d in self.distances]
+        return symbol_confidences(self.distances)
 
 
 def decode_payload_bits(

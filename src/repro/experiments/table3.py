@@ -16,6 +16,7 @@ Zigbee channels 16–18 and 21–23.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -24,6 +25,8 @@ from zlib import crc32
 import numpy as np
 
 from repro.chips import Cc1352R1, Nrf52832, RzUsbStick
+from repro.chips.cc1352 import CC1352R1_CAPABILITIES
+from repro.chips.nrf52832 import NRF52832_CAPABILITIES
 from repro.core.firmware import WazaBeeFirmware
 from repro.dot15d4.channels import ZIGBEE_CHANNELS
 from repro.dot15d4.frames import Address, build_data
@@ -37,6 +40,7 @@ __all__ = [
     "Table3Result",
     "run_table3_cell",
     "run_table3",
+    "run_table3_wideband",
     "format_table3",
 ]
 
@@ -44,6 +48,16 @@ CHIP_FACTORIES: Dict[str, Callable] = {
     "nRF52832": Nrf52832,
     "CC1352-R1": Cc1352R1,
 }
+
+#: Crystal tolerance of each diverted chip's transmit path — the analogue
+#: parameter the wideband sweep needs from the chip models.
+CHIP_TX_CFO_STD_HZ: Dict[str, float] = {
+    "nRF52832": NRF52832_CAPABILITIES.cfo_std_hz,
+    "CC1352-R1": CC1352R1_CAPABILITIES.cfo_std_hz,
+}
+
+#: Reference 802.15.4 instrument's crystal tolerance (RZUSBStick).
+REFERENCE_TX_CFO_STD_HZ = 10e3
 
 _SRC = Address(pan_id=0x1234, address=0x0063)
 _DST = Address(pan_id=0x1234, address=0x0042)
@@ -305,6 +319,221 @@ def run_table3(
     for (chip, primitive, _channel), cell in zip(grid, cells):
         result.cells.setdefault((chip, primitive), {})[cell.channel] = cell
     return result
+
+
+def _wideband_slot_waveform(primitive: str, counter: int, samples_per_chip: int):
+    """The on-air baseband for one frame slot of a wideband sweep.
+
+    *rx* primitive: the reference 802.15.4 transmitter's O-QPSK waveform
+    (what the diverted wideband receiver must decode).  *tx* primitive:
+    the WazaBee injection waveform — preamble, MSK-encoded Access Address
+    and chip stream through the BLE GFSK (BT = 0.5) modulator — exactly
+    the bits :class:`~repro.chips.ble_radio.BleRadioPeripheral` puts on
+    the air.
+    """
+    from repro.phy.ieee802154 import Ppdu
+
+    psdu = _counter_frame(counter).to_bytes()
+    if primitive == "rx":
+        from repro.dsp.oqpsk import OqpskModulator
+
+        modulator = OqpskModulator(samples_per_chip=samples_per_chip)
+        return modulator.modulate(Ppdu(psdu).to_chips()).samples
+    from repro.ble.packets import PhyMode, access_address_bits, preamble_bits
+    from repro.core.encoding import frame_to_msk_bits, wazabee_access_address
+    from repro.dsp.gfsk import FskModulator, GfskConfig
+
+    aa = wazabee_access_address()
+    bits = np.concatenate(
+        [
+            preamble_bits(aa, PhyMode.LE_2M),
+            access_address_bits(aa),
+            frame_to_msk_bits(psdu),
+        ]
+    )
+    config = GfskConfig(
+        samples_per_symbol=samples_per_chip, modulation_index=0.5, bt=0.5
+    )
+    return FskModulator(config, 2e6).modulate(bits).samples
+
+
+def run_table3_wideband(
+    frames: int = 100,
+    channels: Sequence[int] = ZIGBEE_CHANNELS,
+    chips: Sequence[str] = ("nRF52832", "CC1352-R1"),
+    primitives: Sequence[str] = ("rx", "tx"),
+    profile: Optional[TestbedProfile] = None,
+    seed: int = 0,
+    chunk_slots: int = 8,
+    mode: str = "spectral",
+    grid=None,
+    dtype=None,
+    workers: Optional[int] = None,
+) -> Table3Result:
+    """Regenerate Table III from wideband band captures.
+
+    Instead of one narrowband testbed per (chip, primitive, channel)
+    cell, each (chip, primitive) pair is swept in frame *slots*: the
+    slot's waveform goes on the air on every channel simultaneously
+    (independent CFO / shadowing / noise / WiFi per channel), the
+    :class:`~repro.chips.wideband.WidebandFrontEnd` composes one band
+    capture and splits it back through the polyphase channelizer, and
+    the batched tensor pipeline
+    (:func:`repro.phy.batch.decode_chip_frames`) decodes all channels'
+    slots in a handful of array ops.
+
+    ``mode`` selects the front-end path — ``"spectral"`` (production
+    fast path), ``"time"`` (compose_band + channelize through the real
+    subsystem) or ``"sequential"`` (no band roundtrip; the differential
+    reference).  All three consume identical random streams; the CI
+    wideband-smoke step diffs spectral vs sequential cell by cell.
+
+    The sweep defaults to the single-precision sweep raster
+    (:data:`repro.chips.wideband.SWEEP_GRID`); pass ``grid`` / ``dtype``
+    to run the 16 Msps double-precision configuration the differential
+    tests use.  Seeding is per (chip, primitive): ``seed ^
+    crc32(chip/primitive/wideband)`` with one spawned stream per
+    channel.  ``chunk_slots`` shapes the per-channel draw order and is
+    therefore part of the reproducibility contract; ``workers``
+    (default: up to 2 processes) distributes whole (chip, primitive)
+    pairs and never changes results — each pair is seeded and decoded
+    independently, exactly as in the ``workers=1`` loop.
+    """
+    from repro.chips.wideband import SWEEP_GRID
+
+    if frames < 1:
+        raise ValueError("frames must be >= 1")
+    if chunk_slots < 1:
+        raise ValueError("chunk_slots must be >= 1")
+    grid = grid if grid is not None else SWEEP_GRID
+    dtype = np.dtype(dtype if dtype is not None else np.complex64)
+    result = Table3Result(frames_per_cell=frames)
+    profile = profile or TestbedProfile()
+    tasks = []
+    for chip_name in chips:
+        if chip_name not in CHIP_FACTORIES:
+            raise ValueError(f"unknown chip {chip_name!r}")
+        for primitive in primitives:
+            if primitive not in ("rx", "tx"):
+                raise ValueError("primitive must be 'rx' or 'tx'")
+            tasks.append(
+                (
+                    chip_name,
+                    primitive,
+                    tuple(channels),
+                    frames,
+                    profile,
+                    seed,
+                    chunk_slots,
+                    mode,
+                    grid,
+                    dtype,
+                )
+            )
+    if workers is None:
+        workers = max(1, min(2, os.cpu_count() or 1, len(tasks)))
+    if workers == 1:
+        outcomes = [_wideband_pair_task(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_wideband_pair_task, tasks))
+    for chip_name, primitive, cells, metrics in outcomes:
+        for cell in cells.values():
+            cell.metrics = metrics
+        result.cells[(chip_name, primitive)] = cells
+    return result
+
+
+def _wideband_pair_task(args: Tuple) -> Tuple[str, str, Dict, Dict]:
+    """One pooled (chip, primitive) wideband pair with a scoped registry."""
+    from repro.chips.wideband import WidebandFrontEnd
+    from repro.phy.batch import decode_chip_frames
+
+    (
+        chip_name,
+        primitive,
+        channels,
+        frames,
+        profile,
+        seed,
+        chunk_slots,
+        mode,
+        grid,
+        dtype,
+    ) = args
+    with scoped() as (_bus, registry):
+        cells = _run_wideband_pair(
+            chip_name,
+            primitive,
+            channels,
+            frames,
+            profile,
+            seed,
+            chunk_slots,
+            mode,
+            grid,
+            dtype,
+            WidebandFrontEnd,
+            decode_chip_frames,
+        )
+        metrics = registry.counter_values()
+    return chip_name, primitive, cells, metrics
+
+
+def _run_wideband_pair(
+    chip_name: str,
+    primitive: str,
+    channels: Tuple[int, ...],
+    frames: int,
+    profile: TestbedProfile,
+    seed: int,
+    chunk_slots: int,
+    mode: str,
+    grid,
+    dtype,
+    front_end_cls,
+    decode,
+) -> Dict[int, ChannelResult]:
+    """All channels of one (chip, primitive) pair, decoded in slot chunks."""
+    base_seed = (
+        seed ^ crc32(f"{chip_name}/{primitive}/wideband".encode()) & 0x7FFFFFFF
+    )
+    cfo_std = (
+        REFERENCE_TX_CFO_STD_HZ
+        if primitive == "rx"
+        else CHIP_TX_CFO_STD_HZ[chip_name]
+    )
+    front = front_end_cls(
+        profile=profile,
+        grid=grid,
+        channels=channels,
+        seed=base_seed,
+        tx_cfo_std_hz=cfo_std,
+        dtype=dtype,
+    )
+    spc = front.samples_per_chip
+    cells = {c: ChannelResult(channel=c) for c in channels}
+    for lo in range(0, frames, chunk_slots):
+        slots = list(range(lo, min(lo + chunk_slots, frames)))
+        signals = [
+            _wideband_slot_waveform(primitive, i, spc) for i in slots
+        ]
+        expected = [_counter_frame(i).to_bytes() for i in slots]
+        captures = front.capture_slots(signals, mode=mode)
+        num_slots, num_channels, n_out = captures.shape
+        decoded = decode(
+            captures.reshape(num_slots * num_channels, n_out),
+            samples_per_chip=spc,
+        )
+        for s in range(num_slots):
+            for j, channel in enumerate(channels):
+                frame = decoded.frames[s * num_channels + j]
+                outcomes = (
+                    [(frame.psdu, frame.fcs_ok)] if frame is not None else []
+                )
+                valid, corrupted = _classify(outcomes, expected[s])
+                _tally(cells[channel], valid, corrupted)
+    return cells
 
 
 def format_table3(result: Table3Result) -> str:

@@ -23,6 +23,8 @@ from __future__ import annotations
 from repro.obs.bus import TraceBus, metrics, scoped, trace_bus
 from repro.obs.events import (
     ATTACK_STAGE,
+    CHANNELIZER_COMPOSE,
+    CHANNELIZER_SPLIT,
     EVENT_NAMES,
     FAULT_INJECTED,
     FIRMWARE_DROP,
@@ -67,6 +69,8 @@ __all__ = [
     "SERVE_SESSION",
     "SERVE_SHED",
     "SERVE_STAGE",
+    "CHANNELIZER_COMPOSE",
+    "CHANNELIZER_SPLIT",
 ]
 
 

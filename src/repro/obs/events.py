@@ -28,6 +28,8 @@ __all__ = [
     "SERVE_SESSION",
     "SERVE_SHED",
     "SERVE_STAGE",
+    "CHANNELIZER_COMPOSE",
+    "CHANNELIZER_SPLIT",
     "EVENT_NAMES",
 ]
 
@@ -61,6 +63,12 @@ SERVE_SESSION = "serve.session"
 SERVE_SHED = "serve.shed"
 #: A supervised service pipeline stage crashed, restarted, or gave up.
 SERVE_STAGE = "serve.stage"
+#: Per-channel TX basebands were superposed into one wideband band capture
+#: (the wideband front end's compose step).
+CHANNELIZER_COMPOSE = "channelizer.compose"
+#: A wideband capture was split into per-channel basebands by the
+#: polyphase filterbank (single-block or overlap-save mode).
+CHANNELIZER_SPLIT = "channelizer.split"
 
 #: The closed vocabulary — JSONL consumers and the ledger tests key on it.
 EVENT_NAMES = frozenset(
@@ -77,6 +85,8 @@ EVENT_NAMES = frozenset(
         SERVE_SESSION,
         SERVE_SHED,
         SERVE_STAGE,
+        CHANNELIZER_COMPOSE,
+        CHANNELIZER_SPLIT,
     }
 )
 

@@ -40,6 +40,7 @@ __all__ = [
     "spread_symbols",
     "despread_symbol",
     "despread_chips",
+    "symbol_confidences",
     "Ppdu",
     "SHR_SYMBOLS",
 ]
@@ -163,6 +164,22 @@ def despread_chips(
         [int(s) for s in best[:stop]],
         [int(d) for d in best_dist[:stop]],
     )
+
+
+def symbol_confidences(distances: Sequence[int]) -> List[float]:
+    """Per-symbol decode confidence in [0, 1] from Hamming distances.
+
+    The soft-decision convention shared by the sequential receiver
+    (``repro.core.rx.DecodedFrame``) and the batched pipeline
+    (``repro.phy.batch.BatchDecodedFrame``): a perfect match (distance
+    0) scores 1.0; the worst credible match — distance 15, half the
+    minimum pairwise separation of the sequences away from everything —
+    scores ~0.5.  Complements the LLR margin from
+    ``despread_blocks_soft``: the confidence says how well the chosen
+    symbol fit, the margin says how much better it fit than the
+    runner-up.
+    """
+    return [1.0 - float(d) / 31.0 for d in distances]
 
 
 def _shr_symbols() -> List[int]:

@@ -136,6 +136,44 @@ class TestNoiselessRoundtrip:
         assert _load("roundtrip.json")["skip_bits"] == MSK_STRIDE
 
 
+class TestWidebandComposite:
+    """The wideband composite vector: channelized decode, pinned."""
+
+    def test_slot_channels_and_metadata(self):
+        doc = _load("wideband.json")
+        assert doc["seed"] == generate.WIDEBAND_SEED
+        assert doc["mode"] == "time"
+        assert doc["slot_channels"] == list(generate.WIDEBAND_SLOT_CHANNELS)
+        assert sorted(doc["slots"], key=int) == sorted(
+            (str(c) for c in generate.WIDEBAND_SLOT_CHANNELS), key=int
+        )
+        for per_channel in doc["slots"].values():
+            assert sorted(per_channel, key=int) == [
+                str(c) for c in ZIGBEE_CHANNELS
+            ]
+
+    def test_decoded_cells_carry_the_slot_psdu(self):
+        """Wherever the FCS verifies, the payload is the slot's golden PSDU."""
+        doc = _load("wideband.json")
+        for slot_channel, per_channel in doc["slots"].items():
+            expected = generate.channel_psdu(int(slot_channel)).hex()
+            decoded_ok = 0
+            for cell in per_channel.values():
+                if cell.get("fcs_ok"):
+                    assert cell["psdu"] == expected
+                    assert cell["llr_margin"] > 0
+                    decoded_ok += 1
+            # WiFi-facing channels may deterministically lose a frame;
+            # the clean majority of the band must decode.
+            assert decoded_ok >= 12
+
+    def test_channelized_decisions_match_sequential_reference(self):
+        """The acceptance invariant: the wideband capture decodes all 16
+        channels identically to the per-channel sequential pipeline."""
+        doc = _load("wideband.json")
+        assert generate.wideband_decisions(mode="sequential") == doc["slots"]
+
+
 class TestCachedSynthesisGolden:
     """Cached waveform synthesis must match the direct modulator on every
     golden per-channel TX stream (the signals that actually go on air)."""

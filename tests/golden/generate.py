@@ -14,10 +14,18 @@ encoding pipeline itself:
 * ``roundtrip.json`` — the noiseless capture→decode expectation for each
   TX stream: decoding the post-Access-Address bits must reproduce the
   PSDU byte-for-byte with the FCS intact.
+* ``wideband.json`` — the wideband composite: four golden PSDUs
+  broadcast over all sixteen channels at once, composed into one band
+  capture, split by the polyphase channelizer (``mode="time"``) and
+  batch-decoded.  Stores only decision-level values (payload bytes, FCS
+  verdicts, sync indices, integer LLR margins) from a fixed seed, so the
+  file stays byte-stable while pinning the whole wideband receive chain.
 
-Every value is derived deterministically (no RNG, no clock), so the
-corpus regenerates byte-identically on every run; the test suite fails on
-any single-bit drift between the pipeline and the files on disk.
+Every value is derived deterministically (the wideband vector from one
+pinned PCG64 seed, everything else with no RNG at all — and never from a
+clock), so the corpus regenerates byte-identically on every run; the
+test suite fails on any single-bit drift between the pipeline and the
+files on disk.
 
 Regenerate (only after an *intentional* encoding change) with::
 
@@ -135,11 +143,82 @@ def build_roundtrip() -> Dict:
     return {"skip_bits": MSK_STRIDE, "cases": cases}
 
 
+#: Root seed of the wideband composite capture — part of the pinned
+#: contract; changing it regenerates a different (equally valid) vector.
+WIDEBAND_SEED = 2026
+
+#: The four slot transmissions of the composite: each slot broadcasts the
+#: golden PSDU named after one of these channels across all 16 channels.
+WIDEBAND_SLOT_CHANNELS = (11, 16, 21, 26)
+
+
+def wideband_decisions(mode: str = "time") -> Dict:
+    """Decode the composite wideband capture; return decision-level cells.
+
+    Shared by the generator (``mode="time"``, the pinned subsystem path)
+    and the golden tests, which re-run it with ``mode="sequential"`` to
+    assert the channelized decode makes exactly the decisions of the
+    per-channel reference path.
+    """
+    from repro.chips.wideband import WidebandFrontEnd
+    from repro.dsp.oqpsk import OqpskModulator
+    from repro.phy.batch import decode_chip_frames
+
+    modulator = OqpskModulator(samples_per_chip=8)
+    signals = [
+        modulator.modulate(Ppdu(channel_psdu(c)).to_chips()).samples
+        for c in WIDEBAND_SLOT_CHANNELS
+    ]
+    front = WidebandFrontEnd(seed=WIDEBAND_SEED)
+    captures = front.capture_slots(signals, mode=mode)
+    num_slots, num_channels, n_out = captures.shape
+    decoded = decode_chip_frames(
+        captures.reshape(num_slots * num_channels, n_out),
+        samples_per_chip=front.samples_per_chip,
+    )
+    cells: Dict[str, Dict] = {}
+    for s, slot_channel in enumerate(WIDEBAND_SLOT_CHANNELS):
+        per_channel = {}
+        for j, channel in enumerate(front.channels):
+            frame = decoded.frames[s * num_channels + j]
+            if frame is None:
+                per_channel[str(channel)] = {"found": False}
+            else:
+                per_channel[str(channel)] = {
+                    "found": True,
+                    "psdu": frame.psdu.hex(),
+                    "fcs_ok": frame.fcs_ok,
+                    "sfd_index": frame.sfd_index,
+                    "sync_start": frame.sync_start,
+                    "llr_margin": min(frame.llrs),
+                }
+        cells[str(slot_channel)] = per_channel
+    return cells
+
+
+def build_wideband() -> Dict:
+    from repro.phy.channelizer import WidebandGrid
+
+    grid = WidebandGrid()
+    return {
+        "seed": WIDEBAND_SEED,
+        "mode": "time",
+        "samples_per_chip": 8,
+        "grid": {
+            "channel_rate_hz": int(grid.channel_rate),
+            "oversample": int(grid.oversample),
+        },
+        "slot_channels": list(WIDEBAND_SLOT_CHANNELS),
+        "slots": wideband_decisions(mode="time"),
+    }
+
+
 CORPUS = {
     "table1_pn_sequences.json": build_table1,
     "algorithm1_msk.json": build_algorithm1,
     "tx_streams.json": build_tx_streams,
     "roundtrip.json": build_roundtrip,
+    "wideband.json": build_wideband,
 }
 
 

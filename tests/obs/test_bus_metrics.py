@@ -73,6 +73,8 @@ class TestTraceBus:
             "serve.session",
             "serve.shed",
             "serve.stage",
+            "channelizer.split",
+            "channelizer.compose",
         } == set(EVENT_NAMES)
 
 

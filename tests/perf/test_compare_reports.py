@@ -1,0 +1,105 @@
+"""Unit tests for the perf-suite baseline comparator.
+
+The regression gate must keep working when a benchmark (or one of its
+enforced ratio keys) is newer than the committed baseline: old baselines
+simply don't mention it.  That skip path is what lets a PR add a
+benchmark and its own BENCH_PR<n>.json without rewriting BASELINE.json.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.perf.harness import (  # noqa: E402
+    REGRESSION_FLOOR,
+    compare_reports,
+)
+
+
+def report(benches):
+    return {"schema": "wazabee-bench/1", "benchmarks": benches}
+
+
+def bench(value, extra=None):
+    return {
+        "metric": "ms",
+        "value": value,
+        "repeats": 3,
+        "extra": extra or {},
+    }
+
+
+class TestMissingBaselineEntries:
+    def test_bench_absent_from_baseline_is_skipped(self, capsys):
+        """A benchmark newer than the baseline must not trip the gate."""
+        current = report(
+            {
+                "table3_sweep_wideband": bench(
+                    0.5, {"speedup_vs_sequential": 8.9}
+                )
+            }
+        )
+        regressions = compare_reports(current, report({}))
+        assert regressions == []
+        out = capsys.readouterr().out
+        assert "(new)" in out
+        assert "gate skip: table3_sweep_wideband.speedup_vs_sequential" in out
+
+    def test_ratio_key_absent_from_baseline_is_skipped(self, capsys):
+        """Baseline has the bench but predates the enforced ratio key."""
+        current = report(
+            {
+                "modulate_cached": bench(1.0, {"speedup_vs_direct": 4.0}),
+            }
+        )
+        baseline = report({"modulate_cached": bench(1.0, {})})
+        assert compare_reports(current, baseline) == []
+        assert "gate skip: modulate_cached.speedup_vs_direct" in (
+            capsys.readouterr().out
+        )
+
+    def test_baseline_entry_without_extra_block_is_tolerated(self, capsys):
+        """Hand-edited or pre-schema baselines may lack 'extra' entirely."""
+        current = report(
+            {"modulate_cached": bench(1.0, {"speedup_vs_direct": 4.0})}
+        )
+        baseline = report(
+            {"modulate_cached": {"metric": "ms", "value": 1.0, "repeats": 3}}
+        )
+        assert compare_reports(current, baseline) == []
+
+    def test_baseline_entry_without_value_prints_new(self, capsys):
+        current = report({"modulate_cached": bench(1.0)})
+        baseline = report({"modulate_cached": {"extra": {}}})
+        assert compare_reports(current, baseline) == []
+        assert "(new)" in capsys.readouterr().out
+
+
+class TestGateStillBites:
+    def test_present_ratio_below_floor_regresses(self):
+        current = report(
+            {"modulate_cached": bench(1.0, {"speedup_vs_direct": 1.0})}
+        )
+        baseline = report(
+            {"modulate_cached": bench(1.0, {"speedup_vs_direct": 4.0})}
+        )
+        regressions = compare_reports(current, baseline)
+        assert len(regressions) == 1
+        assert "modulate_cached.speedup_vs_direct" in regressions[0]
+
+    def test_ratio_at_floor_passes(self):
+        current = report(
+            {
+                "modulate_cached": bench(
+                    1.0, {"speedup_vs_direct": 4.0 * REGRESSION_FLOOR}
+                )
+            }
+        )
+        baseline = report(
+            {"modulate_cached": bench(1.0, {"speedup_vs_direct": 4.0})}
+        )
+        assert compare_reports(current, baseline) == []

@@ -16,6 +16,7 @@ from repro.phy.ieee802154 import (
     despread_symbol,
     spread_bytes,
     spread_symbols,
+    symbol_confidences,
     symbols_for_byte,
 )
 
@@ -139,6 +140,39 @@ class TestSpreading:
             for i in range(len(data))
         )
         assert reassembled == data
+
+
+class TestSymbolConfidences:
+    """One canonical soft-decision mapping, shared by both receive paths."""
+
+    def test_mapping_endpoints(self):
+        assert symbol_confidences([0]) == [1.0]
+        assert symbol_confidences([31]) == [0.0]
+        assert symbol_confidences([15]) == pytest.approx([1.0 - 15 / 31.0])
+        assert symbol_confidences([]) == []
+
+    def test_sequential_and_batched_frames_agree(self):
+        """core's DecodedFrame and phy's BatchDecodedFrame must report the
+        same confidences for the same distances — both delegate here."""
+        from repro.core.rx import DecodedFrame
+        from repro.phy.batch import BatchDecodedFrame
+
+        distances = [0, 3, 15, 31, 5]
+        sequential = DecodedFrame(
+            psdu=b"", fcs_ok=True, sfd_index=0, distances=distances
+        )
+        batched = BatchDecodedFrame(
+            psdu=b"",
+            fcs_ok=True,
+            sfd_index=0,
+            sync_start=0,
+            sync_score=1.0,
+            chip_index=0,
+            distances=distances,
+        )
+        expected = symbol_confidences(distances)
+        assert sequential.confidences == expected
+        assert batched.confidences == expected
 
 
 class TestPpdu:

@@ -295,3 +295,171 @@ class TestReplay:
                         replay_path=str(tmp_path / "missing.spool"),
                     )
                 )
+
+    def test_torn_tail_spool_replays_surviving_frames_to_a_live_subscriber(
+        self, tmp_path
+    ):
+        """A SIGKILLed producer leaves a footerless spool with a torn final
+        line; replay must stream every intact record to a live subscriber
+        and deliver a clean bye — the crash must not propagate."""
+        spool_path = str(tmp_path / "recorded.spool")
+        with scoped():
+            server = SnifferServer(_config(frames=20, spool_path=spool_path))
+            live = CollectingSink()
+            server.attach_session(live, fmt="jsonl", name="live")
+            server.start()
+            assert _wait_for_source(server)
+            server.shutdown(drain=True)
+        live_lines = _frame_lines_of(live)
+        assert len(live_lines) == 20
+
+        # Manufacture the crash signature: drop the spool-end footer and
+        # tear the final frame record mid-line.
+        torn_path = str(tmp_path / "torn.spool")
+        lines = open(spool_path, "rb").read().splitlines(keepends=True)
+        assert b"spool-end" in lines[-1]
+        body, last = lines[1:-1][:-1], lines[1:-1][-1]
+        with open(torn_path, "wb") as handle:
+            handle.write(lines[0])
+            handle.writelines(body)
+            handle.write(last[: len(last) // 2])
+
+        reader = SpoolReader(torn_path)
+        assert not reader.complete  # crash detected, not an error
+        assert len(reader.frame_records()) == 19
+
+        with scoped():
+            replayer = SnifferServer(
+                ServeConfig(
+                    socket_path=None,
+                    replay_path=torn_path,
+                    idle_timeout_s=0.0,
+                    drain_timeout_s=10.0,
+                )
+            )
+            replayed = CollectingSink()
+            replayer.attach_session(replayed, fmt="jsonl", name="replay")
+            replayer.start()
+            assert _wait_for_source(replayer)
+            ledger = replayer.shutdown(drain=True)
+        # Byte-for-byte the intact prefix of the original stream.
+        assert _frame_lines_of(replayed) == live_lines[:19]
+        assert ledger["produced"] == 19
+        entry = ledger["sessions"]["replay"]
+        assert entry["delivered"] == 19
+        assert entry["dropped"] == 0
+        assert entry["close_reason"] == "drained"
+
+
+class TestShedRecovery:
+    """The ladder must step back DOWN once pressure clears — and the
+    delivery ledger must still balance exactly through the whole
+    engage/recover cycle under svc-storm chaos."""
+
+    def test_down_transition_recovers_and_ledger_balances(self):
+        with scoped():
+            stall = threading.Event()
+            stall.set()
+            server = SnifferServer(
+                _config(
+                    frames=0,
+                    rate_fps=400.0,
+                    service_chaos="svc-storm",
+                    queue_depth=8,
+                    stall_timeout_s=30.0,
+                )
+            )
+            stuck = CollectingSink(stall_event=stall)
+            fast = CollectingSink()
+            server.attach_session(
+                stuck, fmt="jsonl", policy="drop-oldest", name="stuck"
+            )
+            server.attach_session(fast, fmt="jsonl", name="fast")
+            server.start()
+            # Phase 1 — the stalled ring pins pressure high: the ladder
+            # must engage.
+            deadline = time.monotonic() + RUN_TIMEOUT_S
+            while (
+                server.ladder.level == 0 and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert server.ladder.level >= 1, "ladder never engaged"
+            engaged_frames = server.frames_published
+            # Phase 2 — clear the stall; the ring drains, pressure falls
+            # below threshold − hysteresis, and the ladder must step down.
+            stall.clear()
+            while (
+                server.ladder.level > 0 and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert server.ladder.level == 0, "ladder never recovered"
+            # Phase 3 — let frames flow in the recovered state.
+            target = server.frames_published + 20
+            while (
+                server.frames_published < target
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            ledger = server.shutdown(drain=True)
+
+        # (The final ledger level is whatever the last pressure sample
+        # dictated — svc-storm may re-engage during the drain burst; the
+        # recovery itself was asserted in phase 2 above.)
+        produced = ledger["produced"]
+        assert produced > engaged_frames
+        # Exact delivery ledger balance, per session, through the whole
+        # engage/recover cycle: every produced frame is delivered,
+        # dropped, or shed — nothing double-counted, nothing lost.
+        for name, entry in ledger["sessions"].items():
+            assert entry["in_flight"] == 0, name
+            assert entry["delivered"] + entry["dropped"] == entry["offered"], name
+            if entry["close_reason"] == "drained":
+                assert (
+                    entry["delivered"] + entry["dropped"] + entry["shed"]
+                    == produced
+                ), name
+
+        # The healthy subscriber saw both announcements, and the down
+        # announcement respected the hysteresis band: pressure had to
+        # fall below (threshold − hysteresis) before the level dropped.
+        notices = [
+            decode_jsonl(line)
+            for line in fast.lines()
+            if decode_jsonl(line)["type"] == "notice"
+        ]
+        shed_notes = [n for n in notices if n.get("kind") == "shed-level"]
+        levels = [n["level"] for n in shed_notes]
+        assert max(levels) >= 1
+        down_notes = [
+            note
+            for prev, note in zip(shed_notes, shed_notes[1:])
+            if note["level"] < prev["level"]
+        ]
+        assert down_notes, "no down-transition was announced"
+        config = server.config
+        thresholds = (
+            config.shed_trace_at,
+            config.shed_corrupt_at,
+            config.downsample_at,
+        )
+        for note in down_notes:
+            # Stepping down to `level` means pressure cleared the next
+            # threshold up by at least the hysteresis margin.
+            assert note["pressure"] < (
+                thresholds[note["level"]] - config.shed_hysteresis
+            )
+        # Valid frames flowed again after recovery: frame records exist
+        # after the final down-transition announcement.
+        lines = fast.lines()
+        last_down_idx = max(
+            i
+            for i, line in enumerate(lines)
+            if decode_jsonl(line).get("kind") == "shed-level"
+            and decode_jsonl(line)["level"] == down_notes[-1]["level"]
+        )
+        tail_frames = [
+            decode_jsonl(line)
+            for line in lines[last_down_idx + 1 :]
+            if decode_jsonl(line)["type"] == "frame"
+        ]
+        assert tail_frames, "no frames delivered after recovery"

@@ -1,10 +1,10 @@
 """Timing harness and JSON report writer for the perf suite.
 
-``BENCH_PR8.json`` schema (``wazabee-bench/1``)::
+``BENCH_PR9.json`` schema (``wazabee-bench/1``)::
 
     {
       "schema": "wazabee-bench/1",
-      "suite": "BENCH_PR8",
+      "suite": "BENCH_PR9",
       "quick": false,
       "python": "3.12.3",
       "numpy": "1.26.4",
@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 SCHEMA = "wazabee-bench/1"
-SUITE = "BENCH_PR8"
+SUITE = "BENCH_PR9"
 
 #: Throughput floor, as a fraction of the committed baseline, below which
 #: the suite exits non-zero (the CI regression gate).
@@ -59,6 +59,8 @@ ENFORCED_RATIOS = (
     ("decode_throughput_vectorised", "speedup_vs_scalar"),
     ("modulate_cached", "speedup_vs_direct"),
     ("table3_sweep_wideband", "speedup_vs_sequential"),
+    ("fleet_medium_scan", "speedup_vs_dense"),
+    ("fleet_campaign_sharded", "speedup_vs_dense"),
 )
 
 
@@ -97,6 +99,7 @@ def run_suite(quick: bool = False) -> List[BenchRecord]:
     from benchmarks.perf.bench_capture import bench_compose_capture
     from benchmarks.perf.bench_channelizer import bench_channelizer
     from benchmarks.perf.bench_decode import bench_decode_throughput
+    from benchmarks.perf.bench_fleet import bench_fleet
     from benchmarks.perf.bench_modulate import bench_modulate
     from benchmarks.perf.bench_sync import bench_sync
     from benchmarks.perf.bench_table3_cell import bench_table3_cell
@@ -108,6 +111,7 @@ def run_suite(quick: bool = False) -> List[BenchRecord]:
     records.extend(bench_compose_capture(quick=quick))
     records.extend(bench_table3_cell(quick=quick))
     records.extend(bench_channelizer(quick=quick))
+    records.extend(bench_fleet(quick=quick))
     return records
 
 
@@ -202,7 +206,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf",
-        description="run the WazaBee perf suite and write BENCH_PR8.json",
+        description="run the WazaBee perf suite and write BENCH_PR9.json",
     )
     parser.add_argument(
         "--quick",
@@ -212,8 +216,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--output",
-        default="BENCH_PR8.json",
-        help="report path (default: ./BENCH_PR8.json)",
+        default="BENCH_PR9.json",
+        help="report path (default: ./BENCH_PR9.json)",
     )
     parser.add_argument(
         "--baseline",

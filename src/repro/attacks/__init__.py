@@ -12,6 +12,10 @@
   service) → fake data injection.
 """
 
+from repro.attacks.energy_depletion import (
+    EnergyDepletionAttack,
+    FleetDepletionAttack,
+)
 from repro.attacks.scenario_a import SmartphoneInjectionAttack, forge_advertising_data
 from repro.attacks.scenario_b import AttackPhase, TrackerAttack
 
@@ -20,4 +24,6 @@ __all__ = [
     "SmartphoneInjectionAttack",
     "TrackerAttack",
     "AttackPhase",
+    "EnergyDepletionAttack",
+    "FleetDepletionAttack",
 ]

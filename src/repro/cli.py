@@ -12,7 +12,10 @@ Gives downstream users one-command access to every reproduction artefact:
 * ``symmetric`` — quantify the reverse (Zigbee→BLE) pivot bound;
 * ``serve`` — run the supervised streaming sniffer service (JSONL/PCAP
   subscriber sessions over a Unix socket, with bounded queues,
-  backpressure and replay).
+  backpressure and replay);
+* ``fleet`` — run the fleet-scale energy-depletion campaign (multi-PAN
+  topology on the spatially sharded medium, per-node battery curves,
+  exact delivery-ledger check).
 """
 
 from __future__ import annotations
@@ -116,6 +119,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable AES-CCM* on the target network (the §VII counter-measure)",
     )
     _add_obs_args(sb)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet-scale energy-depletion campaign on the sharded medium",
+    )
+    fleet.add_argument("--nodes", type=int, default=50, help="total node count")
+    fleet.add_argument("--pans", type=int, default=4, help="number of PANs")
+    fleet.add_argument(
+        "--duration", type=float, default=3.0, help="simulated seconds"
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--flood-rate",
+        type=float,
+        default=200.0,
+        metavar="HZ",
+        help="attacker frames/second per PAN",
+    )
+    fleet.add_argument(
+        "--medium",
+        choices=("sharded", "dense", "dense-unbounded"),
+        default="sharded",
+        help="medium implementation ('dense' keeps the sharded range "
+        "cutoff; results are byte-identical, only slower)",
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan per-channel PAN groups out over N worker processes "
+        "(results identical to the serial run)",
+    )
+    fleet.add_argument(
+        "--sample-interval", type=float, default=0.5, metavar="S",
+        help="battery/alive sampling period",
+    )
+    fleet.add_argument(
+        "--no-mesh",
+        action="store_true",
+        help="pure star topologies (no router relays)",
+    )
+    fleet.add_argument(
+        "--no-attack",
+        action="store_true",
+        help="baseline run without the WazaBee flooders",
+    )
+    fleet.add_argument(
+        "--channel-reuse",
+        action="store_true",
+        help="put every PAN on one channel (spatial-reuse workload)",
+    )
+    fleet.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PROFILE",
+        help="run under a named fault-injection profile (requires "
+        "--workers 1)",
+    )
+    _add_obs_args(fleet)
 
     sim = sub.add_parser("similarity", help="modulation similarity matrix")
     sim.add_argument("--snr", type=float, default=None, help="AWGN SNR in dB")
@@ -434,6 +497,49 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    from repro.experiments.fleet import format_fleet_report, run_fleet_campaign
+    from repro.zigbee.fleet import make_fleet
+
+    if args.chaos is not None:
+        from repro.faults import profile_names
+
+        if args.chaos not in profile_names():
+            print(
+                f"unknown chaos profile {args.chaos!r}; choose from "
+                f"{', '.join(profile_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.workers > 1:
+            print("--chaos requires --workers 1", file=sys.stderr)
+            return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    spec = make_fleet(
+        num_nodes=args.nodes,
+        num_pans=args.pans,
+        seed=args.seed,
+        mesh=not args.no_mesh,
+        channel_reuse=args.channel_reuse,
+    )
+    with _obs_scope(args) as (_bus, registry):
+        result = run_fleet_campaign(
+            spec,
+            duration_s=args.duration,
+            attack=not args.no_attack,
+            flood_rate_hz=args.flood_rate,
+            medium_kind=args.medium,
+            workers=args.workers,
+            sample_interval_s=args.sample_interval,
+            chaos=args.chaos,
+        )
+        print(format_fleet_report(result))
+        _print_metrics(args, registry)
+    return 0 if result.ledger_balanced else 1
+
+
 def _cmd_similarity(args) -> int:
     from repro.core.similarity import similarity_matrix, viable_pivots
     from repro.experiments.reports import render_similarity_matrix
@@ -465,6 +571,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "alg1": _cmd_alg1,
     "table3": _cmd_table3,
+    "fleet": _cmd_fleet,
     "scenario-a": _cmd_scenario_a,
     "scenario-b": _cmd_scenario_b,
     "similarity": _cmd_similarity,

@@ -14,6 +14,12 @@ Each module maps to an artefact of the paper (see DESIGN.md §4):
 """
 
 from repro.experiments.environment import Testbed, TestbedProfile, build_testbed
+from repro.experiments.fleet import (
+    FleetCampaignResult,
+    FleetNodeReport,
+    format_fleet_report,
+    run_fleet_campaign,
+)
 from repro.experiments.table3 import (
     ChannelResult,
     Table3Result,
@@ -29,4 +35,8 @@ __all__ = [
     "Table3Result",
     "run_table3",
     "run_table3_cell",
+    "FleetCampaignResult",
+    "FleetNodeReport",
+    "format_fleet_report",
+    "run_fleet_campaign",
 ]

@@ -1,0 +1,524 @@
+"""The fleet-scale energy-depletion campaign (Ghost-in-the-Wireless).
+
+Scales the single-victim ``examples/energy_depletion.py`` demo into a
+measured experiment: a multi-PAN fleet (see :mod:`repro.zigbee.fleet`)
+runs its normal reporting traffic while one WazaBee attacker per PAN
+floods ack-requested frames across every battery-powered member.  The
+campaign records, per node, the delivered/dropped/retry counters and the
+battery-drain curve, and per fleet, the alive-node curve, the time of the
+first death, and the CSMA-CA congestion indicators (backoffs and channel
+access failures) that collapse under the flood.
+
+The physics of each run lives in its own observability scope, so the
+delivery ledger read back from the scoped :class:`MetricsRegistry` counts
+exactly this campaign: ``scheduled == delivered + skipped`` must balance
+or the medium lost a frame.  Fleet-level summary samples are re-emitted
+as ``fleet.sample`` events on the *caller's* trace bus.
+
+``workers > 1`` fans PAN groups out over a :class:`ProcessPoolExecutor`,
+one group per Zigbee channel.  Channels are 5 MHz apart — outside the
+medium's 4 MHz delivery acceptance — so PANs on different channels are
+physically independent and the split is exact: per-node results are
+identical to the serial run (the differential tests pin this).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.energy_depletion import FleetDepletionAttack
+from repro.chips import Nrf52832
+from repro.core.firmware import WazaBeeFirmware
+from repro.dot15d4.frames import Address
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import named_profile
+from repro.obs import FLEET_SAMPLE, scoped
+from repro.obs import metrics as _current_metrics
+from repro.obs import trace_bus as _current_bus
+from repro.radio import RfMedium, Scheduler, ShardedRfMedium
+from repro.zigbee.fleet import Fleet, FleetSpec, PanSpec, build_fleet
+from repro.zigbee.network import RouterNode, SensorNode
+
+__all__ = [
+    "FleetNodeReport",
+    "FleetCampaignResult",
+    "run_fleet_campaign",
+    "format_fleet_report",
+]
+
+#: Source address the flood frames are spoofed from (any in-PAN short
+#: address passes destination filtering; this one is never allocated).
+SPOOFED_SOURCE_ADDRESS = 0x0FFF
+
+MEDIUM_KINDS = ("sharded", "dense", "dense-unbounded")
+
+
+@dataclass
+class FleetNodeReport:
+    """One node's campaign outcome."""
+
+    name: str
+    pan_id: int
+    role: str
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    received: int = 0
+    forwarded: int = 0
+    retries: int = 0
+    csma_backoffs: int = 0
+    channel_access_failures: int = 0
+    battery_curve: List[float] = field(default_factory=list)
+    depleted_at: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "pan_id": self.pan_id,
+            "role": self.role,
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "received": self.received,
+            "forwarded": self.forwarded,
+            "retries": self.retries,
+            "csma_backoffs": self.csma_backoffs,
+            "channel_access_failures": self.channel_access_failures,
+            "battery_curve": self.battery_curve,
+            "depleted_at": self.depleted_at,
+        }
+
+
+@dataclass
+class FleetCampaignResult:
+    """Merged campaign outcome (per-node reports + fleet curves + ledger)."""
+
+    num_nodes: int
+    num_pans: int
+    duration_s: float
+    attack: bool
+    medium_kind: str
+    workers: int
+    flood_frames: int = 0
+    sample_times: List[float] = field(default_factory=list)
+    alive_curve: List[int] = field(default_factory=list)
+    battery_curve: List[float] = field(default_factory=list)  # fleet mean
+    reports: List[FleetNodeReport] = field(default_factory=list)
+    ledger: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ledger_balanced(self) -> bool:
+        """Every scheduled delivery was either delivered or skipped."""
+        return self.ledger.get("medium.deliveries.scheduled", 0) == (
+            self.ledger.get("medium.deliveries.delivered", 0)
+            + self.ledger.get("medium.deliveries.skipped", 0)
+        )
+
+    @property
+    def battery_powered(self) -> int:
+        return sum(1 for r in self.reports if r.battery_curve)
+
+    @property
+    def first_death_s(self) -> Optional[float]:
+        deaths = [r.depleted_at for r in self.reports if r.depleted_at is not None]
+        return min(deaths) if deaths else None
+
+    @property
+    def alive_fraction(self) -> float:
+        total = self.battery_powered
+        if not total or not self.alive_curve:
+            return 1.0
+        return self.alive_curve[-1] / total
+
+    def totals(self, field_name: str) -> int:
+        return sum(getattr(r, field_name) for r in self.reports)
+
+    def to_dict(self) -> Dict:
+        return {
+            "num_nodes": self.num_nodes,
+            "num_pans": self.num_pans,
+            "duration_s": self.duration_s,
+            "attack": self.attack,
+            "medium_kind": self.medium_kind,
+            "flood_frames": self.flood_frames,
+            "sample_times": self.sample_times,
+            "alive_curve": self.alive_curve,
+            "battery_curve": self.battery_curve,
+            "first_death_s": self.first_death_s,
+            "ledger": self.ledger,
+            "ledger_balanced": self.ledger_balanced,
+            "nodes": [r.to_dict() for r in self.reports],
+        }
+
+
+def _subset_spec(spec: FleetSpec, pans: Tuple[PanSpec, ...]) -> FleetSpec:
+    return FleetSpec(
+        seed=spec.seed,
+        pans=pans,
+        sample_rate=spec.sample_rate,
+        range_cutoff_m=spec.range_cutoff_m,
+    )
+
+
+def _make_medium(
+    spec: FleetSpec, scheduler: Scheduler, medium_kind: str
+) -> RfMedium:
+    kwargs = dict(
+        sample_rate=spec.sample_rate,
+        rng=np.random.default_rng(spec.seed + 1),
+        seed=spec.seed + 1,
+    )
+    if medium_kind == "sharded":
+        return ShardedRfMedium(
+            scheduler, range_cutoff_m=spec.range_cutoff_m, **kwargs
+        )
+    if medium_kind == "dense":
+        return RfMedium(
+            scheduler, range_cutoff_m=spec.range_cutoff_m, **kwargs
+        )
+    if medium_kind == "dense-unbounded":
+        return RfMedium(scheduler, **kwargs)
+    raise ValueError(
+        f"unknown medium kind {medium_kind!r}; choose from {MEDIUM_KINDS}"
+    )
+
+
+def _group_args(kwargs: Dict) -> Dict:
+    """Module-level trampoline so groups pickle cleanly to workers."""
+    return _run_group(**kwargs)
+
+
+def _warm_group_worker(sample_rate: float) -> None:
+    """Pool initializer: prebuild the process-wide TX waveform cache."""
+    from repro.experiments.table3 import _warm_worker
+
+    _warm_worker(sample_rate)
+
+
+def _run_group(
+    spec: FleetSpec,
+    duration_s: float,
+    attack: bool,
+    flood_rate_hz: float,
+    sample_interval_s: float,
+    chaos: Optional[str],
+    medium_kind: str,
+) -> Dict:
+    """Simulate one (sub-)fleet start to finish in an isolated obs scope.
+
+    Returns a picklable dict: per-node report dicts, per-PAN sample
+    series, the flood frame count, and the scoped delivery-ledger
+    counters.
+    """
+    with scoped() as (_bus, registry):
+        scheduler = Scheduler()
+        medium = _make_medium(spec, scheduler, medium_kind)
+        if chaos is not None:
+            medium.install_fault_injector(
+                FaultInjector(
+                    named_profile(
+                        chaos, channel=spec.pans[0].channel, seed=spec.seed
+                    )
+                )
+            )
+        fleet = build_fleet(spec, medium)
+        attacks: List[FleetDepletionAttack] = []
+        if attack:
+            for pan in spec.pans:
+                chip = Nrf52832(
+                    medium,
+                    name=f"attacker-{pan.pan_id:#06x}",
+                    position=(pan.center[0] + 2.0, pan.center[1] + 1.0),
+                )
+                firmware = WazaBeeFirmware(chip, scheduler)
+                targets = [
+                    Address(pan_id=pan.pan_id, address=ns.address)
+                    for ns in pan.nodes
+                    if ns.battery_j is not None
+                ]
+                attacks.append(
+                    FleetDepletionAttack(
+                        firmware,
+                        targets=targets,
+                        spoofed_source=Address(
+                            pan_id=pan.pan_id, address=SPOOFED_SOURCE_ADDRESS
+                        ),
+                        channel=pan.channel,
+                        rate_hz=flood_rate_hz,
+                    )
+                )
+
+        # Per-PAN sampling keeps the fleet curves exactly mergeable: the
+        # serial whole-fleet run and the per-channel worker runs combine
+        # the same per-PAN partial sums in the same (pan_id) order.
+        times: List[float] = []
+        pan_alive: Dict[int, List[int]] = {p.pan_id: [] for p in spec.pans}
+        pan_battery: Dict[int, List[float]] = {
+            p.pan_id: [] for p in spec.pans
+        }
+        curves: Dict[str, List[float]] = {}
+        battery_nodes = [
+            (pan.pan_id, fleet.nodes[ns.name])
+            for pan in spec.pans
+            for ns in pan.nodes
+            if ns.battery_j is not None
+        ]
+        for _pan_id, node in battery_nodes:
+            curves[node.name] = []
+
+        def sample() -> None:
+            times.append(scheduler.now)
+            alive: Dict[int, int] = {p.pan_id: 0 for p in spec.pans}
+            battery: Dict[int, float] = {p.pan_id: 0.0 for p in spec.pans}
+            for pan_id, node in battery_nodes:
+                fraction = node.battery.fraction_remaining
+                curves[node.name].append(fraction)
+                battery[pan_id] += fraction
+                if not node.battery.depleted:
+                    alive[pan_id] += 1
+            for pan in spec.pans:
+                pan_alive[pan.pan_id].append(alive[pan.pan_id])
+                pan_battery[pan.pan_id].append(battery[pan.pan_id])
+            if scheduler.now + sample_interval_s <= duration_s + 1e-9:
+                scheduler.schedule(sample_interval_s, sample)
+
+        fleet.start_all()
+        for campaign in attacks:
+            campaign.start()
+        sample()  # t = 0 baseline, then self-rescheduling
+        scheduler.run(duration_s)
+        for campaign in attacks:
+            campaign.stop()
+        fleet.stop_all()
+        # Drain: every delivery scheduled before the cut-off lands within a
+        # frame airtime, and stopped nodes' residual MAC transactions
+        # (ACK waits, retries, backoffs) resolve within milliseconds — one
+        # extra second covers all of it, so the ledger balances exactly.
+        scheduler.run_until(duration_s + 1.0)
+
+        reports = [
+            _node_report(fleet, pan, ns, curves).to_dict()
+            for pan in spec.pans
+            for ns in pan.nodes
+        ]
+        counters = registry.counter_values()
+        ledger = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("medium.")
+        }
+    return {
+        "reports": reports,
+        "times": times,
+        "pan_alive": pan_alive,
+        "pan_battery": pan_battery,
+        "flood_frames": sum(c.frames_sent for c in attacks),
+        "ledger": ledger,
+    }
+
+
+def _node_report(fleet: Fleet, pan: PanSpec, ns, curves) -> FleetNodeReport:
+    node = fleet.nodes[ns.name]
+    stats = node.mac.stats
+    report = FleetNodeReport(
+        name=ns.name,
+        pan_id=ns.pan_id,
+        role=ns.role,
+        sent=stats.sent_frames,
+        received=stats.received_frames,
+        retries=stats.retries,
+        csma_backoffs=stats.csma_backoffs,
+        channel_access_failures=stats.channel_access_failures,
+        battery_curve=list(curves.get(ns.name, [])),
+        depleted_at=node.depleted_at,
+    )
+    if isinstance(node, SensorNode):
+        report.delivered = node.reports_delivered
+        report.dropped = node.reports_dropped
+    elif isinstance(node, RouterNode):
+        report.forwarded = node.forwarded
+        report.delivered = node.forward_delivered
+        report.dropped = node.forward_dropped
+    else:  # coordinator
+        report.received = stats.received_frames
+        report.delivered = len(getattr(node, "display", []))
+    return report
+
+
+def run_fleet_campaign(
+    spec: FleetSpec,
+    duration_s: float = 5.0,
+    attack: bool = True,
+    flood_rate_hz: float = 200.0,
+    medium_kind: str = "sharded",
+    workers: int = 1,
+    sample_interval_s: float = 0.5,
+    chaos: Optional[str] = None,
+) -> FleetCampaignResult:
+    """Run the depletion campaign over *spec* and merge the results.
+
+    ``workers > 1`` requires ``chaos=None``: scripted fault bursts draw
+    from one global plan stream, which cannot be split across processes
+    without diverging from the serial run.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if medium_kind not in MEDIUM_KINDS:
+        raise ValueError(
+            f"unknown medium kind {medium_kind!r}; choose from {MEDIUM_KINDS}"
+        )
+    if chaos is not None and workers > 1:
+        raise ValueError(
+            "chaos profiles require workers=1 (burst draws come from one "
+            "global plan stream and would diverge across processes)"
+        )
+    common = dict(
+        duration_s=duration_s,
+        attack=attack,
+        flood_rate_hz=flood_rate_hz,
+        sample_interval_s=sample_interval_s,
+        chaos=chaos,
+        medium_kind=medium_kind,
+    )
+    if workers == 1:
+        outcomes = [_group_args(dict(spec=spec, **common))]
+    else:
+        # One group per channel: spectrally disjoint, hence physically
+        # independent, hence exactly mergeable.
+        by_channel: Dict[int, List[PanSpec]] = {}
+        for pan in spec.pans:
+            by_channel.setdefault(pan.channel, []).append(pan)
+        groups = [
+            dict(spec=_subset_spec(spec, tuple(pans)), **common)
+            for _channel, pans in sorted(by_channel.items())
+        ]
+        if len(groups) == 1:
+            outcomes = [_group_args(groups[0])]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(groups)),
+                initializer=_warm_group_worker,
+                initargs=(spec.sample_rate,),
+            ) as pool:
+                outcomes = list(pool.map(_group_args, groups))
+    return _merge_outcomes(spec, outcomes, workers=workers, **common)
+
+
+def _merge_outcomes(
+    spec: FleetSpec,
+    outcomes: List[Dict],
+    workers: int,
+    duration_s: float,
+    attack: bool,
+    flood_rate_hz: float,
+    sample_interval_s: float,
+    chaos: Optional[str],
+    medium_kind: str,
+) -> FleetCampaignResult:
+    result = FleetCampaignResult(
+        num_nodes=spec.num_nodes,
+        num_pans=len(spec.pans),
+        duration_s=duration_s,
+        attack=attack,
+        medium_kind=medium_kind,
+        workers=workers,
+    )
+    reports: Dict[str, FleetNodeReport] = {}
+    pan_alive: Dict[int, List[int]] = {}
+    pan_battery: Dict[int, List[float]] = {}
+    for outcome in outcomes:
+        result.flood_frames += outcome["flood_frames"]
+        if not result.sample_times:
+            result.sample_times = list(outcome["times"])
+        for body in outcome["reports"]:
+            reports[body["name"]] = FleetNodeReport(**body)
+        pan_alive.update(
+            {int(k): v for k, v in outcome["pan_alive"].items()}
+        )
+        pan_battery.update(
+            {int(k): v for k, v in outcome["pan_battery"].items()}
+        )
+        for name, value in outcome["ledger"].items():
+            result.ledger[name] = result.ledger.get(name, 0) + value
+    # Fleet order is spec order, regardless of which group ran each node.
+    result.reports = [
+        reports[ns.name] for pan in spec.pans for ns in pan.nodes
+    ]
+    num_samples = len(result.sample_times)
+    battery_total = result.battery_powered
+    for i in range(num_samples):
+        alive = sum(
+            pan_alive[pan.pan_id][i]
+            for pan in spec.pans
+            if pan.pan_id in pan_alive
+        )
+        battery = 0.0
+        for pan in spec.pans:  # fixed pan order => reproducible float sum
+            if pan.pan_id in pan_battery:
+                battery += pan_battery[pan.pan_id][i]
+        result.alive_curve.append(alive)
+        result.battery_curve.append(
+            battery / battery_total if battery_total else 1.0
+        )
+    _export_summary(result)
+    return result
+
+
+def _export_summary(result: FleetCampaignResult) -> None:
+    """Re-emit fleet-level curves on the caller's bus/registry."""
+    bus = _current_bus()
+    if bus.active:
+        for t, alive, battery in zip(
+            result.sample_times, result.alive_curve, result.battery_curve
+        ):
+            bus.emit(
+                FLEET_SAMPLE,
+                time=t,
+                alive=alive,
+                battery_fraction=round(battery, 6),
+                nodes=result.num_nodes,
+            )
+    registry = _current_metrics()
+    registry.counter("fleet.reports.delivered").inc(result.totals("delivered"))
+    registry.counter("fleet.reports.dropped").inc(result.totals("dropped"))
+    registry.counter("fleet.mac.retries").inc(result.totals("retries"))
+    registry.counter("fleet.flood.frames").inc(result.flood_frames)
+    registry.gauge("fleet.alive_fraction").set(result.alive_fraction)
+
+
+def format_fleet_report(result: FleetCampaignResult) -> str:
+    """Human-readable campaign summary (the `repro fleet` output body)."""
+    lines = [
+        f"fleet campaign: {result.num_nodes} nodes / {result.num_pans} PANs, "
+        f"{result.duration_s:g} s simulated, medium={result.medium_kind}, "
+        f"attack={'on' if result.attack else 'off'}",
+        f"  reports delivered/dropped: {result.totals('delivered')}"
+        f"/{result.totals('dropped')}",
+        f"  MAC retries: {result.totals('retries')}, CSMA backoffs: "
+        f"{result.totals('csma_backoffs')}, channel-access failures: "
+        f"{result.totals('channel_access_failures')}",
+        f"  flood frames injected: {result.flood_frames}",
+    ]
+    if result.battery_powered:
+        lines.append(
+            f"  battery nodes alive at end: {result.alive_curve[-1]}"
+            f"/{result.battery_powered} "
+            f"(mean battery {result.battery_curve[-1]:.1%})"
+        )
+        first = result.first_death_s
+        lines.append(
+            "  first death: "
+            + (f"{first:.2f} s" if first is not None else "none")
+        )
+    lines.append(
+        "  ledger: scheduled="
+        f"{result.ledger.get('medium.deliveries.scheduled', 0)} delivered="
+        f"{result.ledger.get('medium.deliveries.delivered', 0)} skipped="
+        f"{result.ledger.get('medium.deliveries.skipped', 0)} -> "
+        + ("balanced" if result.ledger_balanced else "UNBALANCED")
+    )
+    return "\n".join(lines)

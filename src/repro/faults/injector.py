@@ -13,15 +13,22 @@ phantom jammer source, so they both corrupt overlapping captures and show
 up in :attr:`RfMedium.active_transmissions` — i.e. CSMA-CA clear-channel
 assessment sees them and can defer.
 
-All randomness comes from ``default_rng(plan.seed)`` and all counters
-advance in event order, so a run under a given (seed, plan) pair is
-bit-identical to any other run under the same pair.
+Determinism contract (mirrors the medium's): scripted bursts draw from the
+single ``default_rng(plan.seed)`` — they are scheduled once, at install, in
+plan order.  Everything evaluated *per delivery or capture* (duplication
+counters, truncation/sample-drop cadence, gap positions) is keyed by the
+receiving radio's name, so each receiver sees the same fault sequence
+regardless of how deliveries to *other* receivers interleave with its own.
+A run under a given (seed, plan, per-receiver delivery sequence) is
+therefore bit-identical whether the fleet is simulated densely, sharded,
+or with a different set of bystander nodes attached.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -92,10 +99,22 @@ class FaultInjector:
         self.stats = FaultStats()
         self.jammer_position = jammer_position
         self.medium: Optional["RfMedium"] = None
-        self._delivery_counter = 0
-        self._capture_counter = 0
+        self._delivery_counters: Dict[str, int] = {}
+        self._capture_counters: Dict[str, int] = {}
+        self._rx_rngs: Dict[str, np.random.Generator] = {}
         self.trace = _current_bus()
         self.metrics = _current_metrics()
+
+    def _rx_rng(self, name: str) -> np.random.Generator:
+        """Per-receiver fault stream, keyed by name (not delivery order)."""
+        rng = self._rx_rngs.get(name)
+        if rng is None:
+            key = zlib.crc32(name.encode("utf-8"))
+            rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=self.plan.seed, spawn_key=(key,))
+            )
+            self._rx_rngs[name] = rng
+        return rng
 
     def _record(self, kind: str, **fields) -> None:
         """Count one applied impairment and trace it when anyone listens."""
@@ -139,14 +158,15 @@ class FaultInjector:
     # -- delivery fate -------------------------------------------------------
     def delivery_count(self, radio: "Transceiver", tx: "Transmission") -> int:
         """How many times *tx* should be delivered to *radio* (0, 1 or 2)."""
-        self._delivery_counter += 1
+        count = self._delivery_counters.get(radio.name, 0) + 1
+        self._delivery_counters[radio.name] = count
         for window in self.plan.dropouts:
             if window.covers(tx.end_time, radio.name):
                 self.stats.deliveries_dropped += 1
                 self._record("delivery_drop", rx=radio.name, tx_id=tx.identifier)
                 return 0
         dup = self.plan.duplication
-        if dup is not None and self._delivery_counter % dup.every_nth == 0:
+        if dup is not None and count % dup.every_nth == 0:
             self.stats.deliveries_duplicated += 1
             self._record("delivery_duplicate", rx=radio.name, tx_id=tx.identifier)
             return 2
@@ -157,22 +177,24 @@ class FaultInjector:
         self, radio: "Transceiver", capture: IQSignal, start_time: float
     ) -> IQSignal:
         """Apply the plan's capture-side impairments to one RX capture."""
-        self._capture_counter += 1
+        count = self._capture_counters.get(radio.name, 0) + 1
+        self._capture_counters[radio.name] = count
         samples = capture.samples
         drops = self.plan.sample_drops
-        if drops is not None and self._capture_counter % drops.every_nth == 0:
+        if drops is not None and count % drops.every_nth == 0:
             samples = samples.copy()
+            rng = self._rx_rng(radio.name)
             for _ in range(drops.num_gaps):
                 if samples.size <= drops.gap_samples:
                     samples[:] = 0.0
                     break
                 start = int(
-                    self.rng.integers(0, samples.size - drops.gap_samples)
+                    rng.integers(0, samples.size - drops.gap_samples)
                 )
                 samples[start : start + drops.gap_samples] = 0.0
             self.stats.captures_sample_dropped += 1
         trunc = self.plan.truncation
-        if trunc is not None and self._capture_counter % trunc.every_nth == 0:
+        if trunc is not None and count % trunc.every_nth == 0:
             keep = int(samples.size * trunc.keep_fraction)
             samples = samples.copy()
             samples[keep:] = 0.0

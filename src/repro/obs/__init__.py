@@ -26,6 +26,7 @@ from repro.obs.events import (
     CHANNELIZER_COMPOSE,
     CHANNELIZER_SPLIT,
     EVENT_NAMES,
+    FLEET_SAMPLE,
     FAULT_INJECTED,
     FIRMWARE_DROP,
     MAC_RETRY,
@@ -71,6 +72,7 @@ __all__ = [
     "SERVE_STAGE",
     "CHANNELIZER_COMPOSE",
     "CHANNELIZER_SPLIT",
+    "FLEET_SAMPLE",
 ]
 
 

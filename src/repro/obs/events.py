@@ -30,6 +30,7 @@ __all__ = [
     "SERVE_STAGE",
     "CHANNELIZER_COMPOSE",
     "CHANNELIZER_SPLIT",
+    "FLEET_SAMPLE",
     "EVENT_NAMES",
 ]
 
@@ -69,6 +70,9 @@ CHANNELIZER_COMPOSE = "channelizer.compose"
 #: A wideband capture was split into per-channel basebands by the
 #: polyphase filterbank (single-block or overlap-save mode).
 CHANNELIZER_SPLIT = "channelizer.split"
+#: One periodic fleet-campaign sample: alive-node count and aggregate
+#: battery fraction at a point in simulated time.
+FLEET_SAMPLE = "fleet.sample"
 
 #: The closed vocabulary — JSONL consumers and the ledger tests key on it.
 EVENT_NAMES = frozenset(
@@ -87,6 +91,7 @@ EVENT_NAMES = frozenset(
         SERVE_STAGE,
         CHANNELIZER_COMPOSE,
         CHANNELIZER_SPLIT,
+        FLEET_SAMPLE,
     }
 )
 

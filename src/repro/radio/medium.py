@@ -9,6 +9,15 @@ shadowing, plus interferer bursts and the thermal noise floor.
 
 Power convention: a linear sample power of 1.0 corresponds to 0 dBm, so
 ``amplitude = 10^(dBm/20)``.
+
+Determinism contract: every per-capture random draw (thermal noise,
+shadowing, interferer bursts) comes from a *per-receiver* stream derived
+from the medium seed and keyed by the receiver's name — never from the
+order radios were attached or the order deliveries interleave across
+receivers.  Two simulations that agree on (seed, per-receiver delivery
+sequence) therefore produce byte-identical captures, which is what lets
+the sharded medium (:mod:`repro.radio.shard`) prove decision-identity
+against this dense reference implementation.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ from __future__ import annotations
 import math
 import zlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,13 +75,20 @@ class PropagationModel:
 
 @dataclass
 class Transmission:
-    """A signal on the air."""
+    """A signal on the air.
+
+    ``origin`` is the emitter's position *at transmit time*: path loss and
+    range gating are evaluated against where the energy actually left the
+    antenna, so a source that moves while its frame is still in flight
+    cannot retroactively change the physics of an emission already made.
+    """
 
     source: "Transceiver"
     signal: IQSignal
     start_time: float
     power_dbm: float
     identifier: int
+    origin: Position = (0.0, 0.0)
 
     @property
     def end_time(self) -> float:
@@ -80,7 +96,16 @@ class Transmission:
 
 
 class RfMedium:
-    """The shared channel connecting every simulated radio."""
+    """The shared channel connecting every simulated radio.
+
+    ``range_cutoff_m`` (optional) bounds the interaction radius: a
+    transmission is neither delivered to, nor mixed into the capture of, a
+    receiver farther than the cutoff from its origin, and CSMA-CA CCA does
+    not see it.  ``None`` (the default) keeps the historical unbounded
+    behaviour.  The cutoff is the *semantic contract* the spatially
+    partitioned :class:`~repro.radio.shard.ShardedRfMedium` implements with
+    an interest-managed index — dense-with-cutoff is its O(N·M) reference.
+    """
 
     #: Margin added to half the receiver bandwidth when deciding whether a
     #: transmission is deliverable (beyond it, the channel filter would bury
@@ -107,6 +132,7 @@ class RfMedium:
         seed: int = 0,
         prune_horizon_s: float = DEFAULT_PRUNE_HORIZON_S,
         fault_injector: Optional["FaultInjector"] = None,
+        range_cutoff_m: Optional[float] = None,
     ):
         self.scheduler = scheduler
         self.sample_rate = sample_rate
@@ -123,9 +149,16 @@ class RfMedium:
         if prune_horizon_s <= 0.0:
             raise ValueError("prune_horizon_s must be positive")
         self.prune_horizon_s = prune_horizon_s
+        if range_cutoff_m is not None and range_cutoff_m <= 0.0:
+            raise ValueError("range_cutoff_m must be positive")
+        self.range_cutoff_m = range_cutoff_m
         self._radios: List["Transceiver"] = []
         self._transmissions: List[Transmission] = []
         self._next_id = 0
+        # Per-receiver random streams, keyed by radio *name* (not insertion
+        # order): each receiver's noise/shadowing/interference draws advance
+        # only with its own captures.
+        self._rx_streams: dict = {}
         # Capture-composition scratch: mixed-signal memo (a transmission is
         # mixed to a given receiver tuning once, not once per delivery) and
         # reusable noise buffers (grow-only, so steady-state captures do no
@@ -158,10 +191,33 @@ class RfMedium:
     def attach(self, radio: "Transceiver") -> None:
         if radio not in self._radios:
             self._radios.append(radio)
+            # Stream creation is idempotent per name: detach + re-attach
+            # continues the same stream rather than rewinding it.
+            self._rx_streams.setdefault(
+                radio.name, self.derive_rng(f"medium.rx:{radio.name}")
+            )
 
     def detach(self, radio: "Transceiver") -> None:
         if radio in self._radios:
             self._radios.remove(radio)
+
+    def radio_moved(self, radio: "Transceiver") -> None:
+        """Notification hook: *radio*'s position changed.
+
+        The dense medium scans every radio on each transmit, so position is
+        always read fresh — nothing to update.  The sharded medium overrides
+        this to migrate the radio between grid cells.
+        """
+
+    def radio_retuned(self, radio: "Transceiver") -> None:
+        """Notification hook: *radio*'s tuning changed (see radio_moved)."""
+
+    def _rx_stream(self, radio: "Transceiver") -> np.random.Generator:
+        stream = self._rx_streams.get(radio.name)
+        if stream is None:
+            stream = self.derive_rng(f"medium.rx:{radio.name}")
+            self._rx_streams[radio.name] = stream
+        return stream
 
     # -- transmission ---------------------------------------------------------
     def transmit(
@@ -180,16 +236,20 @@ class RfMedium:
             start_time=self.scheduler.now,
             power_dbm=power_dbm,
             identifier=self._next_id,
+            origin=tuple(source.position),
         )
         self._next_id += 1
         self._transmissions.append(tx)
+        self._index_transmission(tx)
         self.metrics.counter("medium.transmissions").inc()
-        for radio in self._radios:
+        for radio in self._delivery_candidates(tx):
             if radio is source:
                 continue
             if not radio.is_listening:
                 continue
             if not self._in_band(radio, signal.center_frequency):
+                continue
+            if not self._within_range(tx, radio):
                 continue
             deliveries = 1
             if self.fault_injector is not None:
@@ -205,6 +265,19 @@ class RfMedium:
                 self._trace_delivery(radio, tx, "scheduled")
                 self._schedule_delivery(radio, tx)
         return tx
+
+    def _delivery_candidates(self, tx: Transmission) -> Iterable["Transceiver"]:
+        """Radios to consider delivering *tx* to, in attach order.
+
+        The dense medium scans everything; the sharded medium narrows the
+        scan through its (cell, channel) interest sets.  Implementations
+        must preserve attach order so the scheduler's event sequence — and
+        therefore every downstream tie-break — is identical across them.
+        """
+        return self._radios
+
+    def _index_transmission(self, tx: Transmission) -> None:
+        """Hook: a transmission entered the superposition list."""
 
     def _trace_delivery(
         self, radio: "Transceiver", tx: Transmission, status: str
@@ -223,12 +296,20 @@ class RfMedium:
         limit = radio.bandwidth_hz / 2.0 + self.DELIVERY_MARGIN_HZ
         return abs(radio.tuned_hz - center_frequency) <= limit
 
+    def _within_range(self, tx: Transmission, radio: "Transceiver") -> bool:
+        if self.range_cutoff_m is None:
+            return True
+        return math.dist(tx.origin, radio.position) <= self.range_cutoff_m
+
     def _schedule_delivery(self, radio: "Transceiver", tx: Transmission) -> None:
         def deliver() -> None:
-            # Re-check state at delivery time: the radio may have re-tuned
-            # or stopped listening while the frame was in flight.
-            if not radio.is_listening or not self._in_band(
-                radio, tx.signal.center_frequency
+            # Re-check state at delivery time: the radio may have re-tuned,
+            # stopped listening, or moved out of range while the frame was
+            # in flight.
+            if (
+                not radio.is_listening
+                or not self._in_band(radio, tx.signal.center_frequency)
+                or not self._within_range(tx, radio)
             ):
                 self.metrics.counter("medium.deliveries.skipped").inc()
                 self._trace_delivery(radio, tx, "skipped")
@@ -236,13 +317,19 @@ class RfMedium:
             start = tx.start_time - self.capture_margin_s
             end = tx.end_time + self.capture_margin_s
             capture = self.compose_capture(radio, start, end)
+            raw = capture.samples
             if self.fault_injector is not None:
                 capture = self.fault_injector.transform_capture(
                     radio, capture, start
                 )
             self.metrics.counter("medium.deliveries.delivered").inc()
             self._trace_delivery(radio, tx, "delivered")
-            radio.handle_capture(capture, tx)
+            try:
+                radio.handle_capture(capture, tx)
+            finally:
+                # The transceiver filters into a fresh array, so the raw
+                # composition buffer can be recycled (pool-backed media).
+                self._release_capture_buffer(raw)
 
         self.scheduler.schedule_at(tx.end_time, deliver)
 
@@ -252,16 +339,19 @@ class RfMedium:
     ) -> IQSignal:
         """Superpose everything a receiver hears in a time window."""
         num = max(1, int(round((end_time - start_time) * self.sample_rate)))
-        total = np.zeros(num, dtype=np.complex128)
-        for tx in self._transmissions:
+        total = self._acquire_capture_buffer(num)
+        rng = self._rx_stream(radio)
+        for tx in self._compose_candidates(radio, start_time, end_time):
             if tx.end_time <= start_time or tx.start_time >= end_time:
                 continue
             if tx.source is radio:
                 continue
             if not self._in_band(radio, tx.signal.center_frequency):
                 continue
+            if not self._within_range(tx, radio):
+                continue
             gain_db = tx.power_dbm + self.propagation.path_gain_db(
-                tx.source.position, radio.position, rng=self.rng
+                tx.origin, radio.position, rng=rng
             )
             amplitude = 10.0 ** (gain_db / 20.0)
             mixed = self._mixed_samples(tx, radio.tuned_hz)
@@ -273,7 +363,7 @@ class RfMedium:
                 rx_bandwidth_hz=radio.bandwidth_hz,
                 num_samples=num,
                 sample_rate=self.sample_rate,
-                rng=self.rng,
+                rng=rng,
             )
             total += burst.samples
         noise_power = 10.0 ** (
@@ -286,11 +376,28 @@ class RfMedium:
         re, im = self._noise_re[:num], self._noise_im[:num]
         # Same generator stream (and therefore bit-identical captures) as
         # drawing two fresh arrays — ``out=`` only skips the allocations.
-        self.rng.standard_normal(out=re)
-        self.rng.standard_normal(out=im)
+        rng.standard_normal(out=re)
+        rng.standard_normal(out=im)
         total.real += scale * re
         total.imag += scale * im
         return IQSignal(total, self.sample_rate, radio.tuned_hz)
+
+    def _compose_candidates(
+        self, radio: "Transceiver", start_time: float, end_time: float
+    ) -> Iterable[Transmission]:
+        """Transmissions to consider mixing, in identifier order.
+
+        Identifier order fixes the floating-point summation order, which is
+        part of the byte-identity contract between implementations.
+        """
+        return self._transmissions
+
+    def _acquire_capture_buffer(self, num: int) -> np.ndarray:
+        """A zeroed complex buffer of *num* samples (pool hook)."""
+        return np.zeros(num, dtype=np.complex128)
+
+    def _release_capture_buffer(self, samples: np.ndarray) -> None:
+        """Return a composition buffer after its delivery completed."""
 
     def _mixed_samples(self, tx: Transmission, tuned_hz: float) -> np.ndarray:
         """*tx*'s samples mixed to a receiver tuning, memoised per pairing.
@@ -331,7 +438,11 @@ class RfMedium:
                 for key, val in self._mixed_cache.items()
                 if key[0] in live
             }
+            self._prune_index(live)
         self._transmissions = kept
+
+    def _prune_index(self, live: set) -> None:
+        """Hook: transmissions outside *live* left the superposition list."""
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -347,12 +458,16 @@ class RfMedium:
         """Clear-channel assessment for *radio*'s current tuning.
 
         True when any in-flight transmission from another source overlaps
-        the radio's receive band — the energy-detect CCA that backs the
-        MAC's unslotted CSMA-CA.
+        the radio's receive band (within the range cutoff, when one is
+        configured) — the energy-detect CCA that backs the MAC's unslotted
+        CSMA-CA.
         """
         for tx in self.active_transmissions:
             if tx.source is radio:
                 continue
-            if self._in_band(radio, tx.signal.center_frequency):
-                return True
+            if not self._in_band(radio, tx.signal.center_frequency):
+                continue
+            if not self._within_range(tx, radio):
+                continue
+            return True
         return False

@@ -59,7 +59,7 @@ class Transceiver:
     ):
         self.medium = medium
         self.name = name
-        self.position = position
+        self._position: Tuple[float, float] = tuple(position)
         self.bandwidth_hz = bandwidth_hz
         self.tx_power_dbm = tx_power_dbm
         self.cfo_std_hz = cfo_std_hz
@@ -83,6 +83,16 @@ class Transceiver:
         medium.attach(self)
 
     # -- tuning / state ------------------------------------------------------
+    @property
+    def position(self) -> Tuple[float, float]:
+        """(x, y) in metres; assigning notifies the medium (cell migration)."""
+        return self._position
+
+    @position.setter
+    def position(self, value: Tuple[float, float]) -> None:
+        self._position = tuple(value)
+        self.medium.radio_moved(self)
+
     def tune(self, frequency_hz: float) -> None:
         """Retune the synthesiser (applies to both TX and RX)."""
         if not 2.4e9 <= frequency_hz <= 2.5e9:
@@ -91,6 +101,7 @@ class Transceiver:
                 "the 2.4-2.5 GHz ISM band"
             )
         self.tuned_hz = frequency_hz
+        self.medium.radio_retuned(self)
 
     @property
     def is_listening(self) -> bool:

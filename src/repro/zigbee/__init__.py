@@ -19,7 +19,20 @@ from repro.zigbee.xbee import (
     SensorReading,
     XBEE_DEFAULTS,
 )
-from repro.zigbee.network import CoordinatorNode, SensorNode, XBeeNode
+from repro.zigbee.network import (
+    CoordinatorNode,
+    RouterNode,
+    SensorNode,
+    XBeeNode,
+)
+from repro.zigbee.fleet import (
+    Fleet,
+    FleetNodeSpec,
+    FleetSpec,
+    PanSpec,
+    build_fleet,
+    make_fleet,
+)
 
 __all__ = [
     "AtCommand",
@@ -28,5 +41,12 @@ __all__ = [
     "XBEE_DEFAULTS",
     "XBeeNode",
     "SensorNode",
+    "RouterNode",
     "CoordinatorNode",
+    "Fleet",
+    "FleetNodeSpec",
+    "FleetSpec",
+    "PanSpec",
+    "build_fleet",
+    "make_fleet",
 ]

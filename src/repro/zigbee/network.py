@@ -28,7 +28,13 @@ from repro.zigbee.xbee import (
     parse_app_payload,
 )
 
-__all__ = ["XBeeNode", "SensorNode", "CoordinatorNode", "DisplayEntry"]
+__all__ = [
+    "XBeeNode",
+    "SensorNode",
+    "RouterNode",
+    "CoordinatorNode",
+    "DisplayEntry",
+]
 
 
 class XBeeNode:
@@ -59,6 +65,9 @@ class XBeeNode:
         self.remote_at_enabled = remote_at_enabled
         self.config_log: List[str] = []
         self.battery = battery
+        #: Simulated time the battery ran out (None while alive) — the
+        #: per-node datum behind fleet network-lifetime curves.
+        self.depleted_at: Optional[float] = None
         if battery is not None:
             self.radio.activity_listener = self._charge_battery
         self.mac.on_data(self._on_data)
@@ -66,7 +75,8 @@ class XBeeNode:
     def _charge_battery(self, kind: str, duration_s: float) -> None:
         assert self.battery is not None
         self.battery.charge_activity(kind, duration_s)
-        if self.battery.depleted:
+        if self.battery.depleted and self.depleted_at is None:
+            self.depleted_at = self.scheduler.now
             self.config_log.append("battery depleted — node dead")
             self.stop()
 
@@ -113,7 +123,13 @@ class XBeeNode:
 
 
 class SensorNode(XBeeNode):
-    """The end device: reports ``value`` every *report_interval_s*."""
+    """The end device: reports ``value`` every *report_interval_s*.
+
+    ``uplink`` is where reports go — the coordinator in a star topology, a
+    :class:`RouterNode` one hop up in a mesh.  ``phase_s`` offsets the
+    first report so a fleet of sensors sharing an interval does not
+    synchronise into one periodic collision storm.
+    """
 
     def __init__(
         self,
@@ -123,6 +139,8 @@ class SensorNode(XBeeNode):
         name: str = "xbee-sensor",
         position: Tuple[float, float] = (0.0, 0.0),
         report_interval_s: float = 2.0,
+        phase_s: float = 0.0,
+        uplink: Optional[Address] = None,
         value_source: Optional[Callable[[], int]] = None,
         rng: Optional[np.random.Generator] = None,
         security: Optional[SecurityContext] = None,
@@ -138,17 +156,23 @@ class SensorNode(XBeeNode):
             battery=battery,
         )
         self.coordinator = coordinator
+        self.uplink = uplink if uplink is not None else coordinator
         self.report_interval_s = report_interval_s
+        self.phase_s = phase_s
         self.value_source = value_source or (lambda: 21)
         self.counter = 0
         self.reports_sent = 0
+        self.reports_delivered = 0
+        self.reports_dropped = 0
         self._running = False
 
     def start(self) -> None:
         super().start()
         if not self._running:
             self._running = True
-            self.scheduler.schedule(self.report_interval_s, self._report)
+            self.scheduler.schedule(
+                self.report_interval_s + self.phase_s, self._report
+            )
 
     def stop(self) -> None:
         self._running = False
@@ -159,9 +183,65 @@ class SensorNode(XBeeNode):
             return
         self.counter = (self.counter + 1) & 0xFFFF
         reading = SensorReading(counter=self.counter, value=self.value_source())
-        self.mac.send_data(self.coordinator, reading.to_payload())
+        self.mac.send_data(
+            self.uplink, reading.to_payload(), on_result=self._report_result
+        )
         self.reports_sent += 1
         self.scheduler.schedule(self.report_interval_s, self._report)
+
+    def _report_result(self, sequence: int, delivered: bool) -> None:
+        if delivered:
+            self.reports_delivered += 1
+        else:
+            self.reports_dropped += 1
+
+
+class RouterNode(XBeeNode):
+    """A one-hop mesh relay: re-addresses sensor readings to its uplink.
+
+    Zigbee proper routes at the NWK layer; this router models the piece
+    that matters for medium-scale dynamics — every forwarded report costs
+    a second MAC transaction (CSMA-CA, ACK, retries) and a second slice of
+    somebody's battery.
+    """
+
+    def __init__(
+        self,
+        medium: RfMedium,
+        address: Address,
+        uplink: Address,
+        name: str = "xbee-router",
+        position: Tuple[float, float] = (0.0, 0.0),
+        rng: Optional[np.random.Generator] = None,
+        security: Optional[SecurityContext] = None,
+        battery: Optional[Battery] = None,
+    ):
+        super().__init__(
+            medium,
+            address,
+            name,
+            position=position,
+            rng=rng,
+            security=security,
+            battery=battery,
+        )
+        self.uplink = uplink
+        self.forwarded = 0
+        self.forward_delivered = 0
+        self.forward_dropped = 0
+
+    def handle_application(self, frame: MacFrame, app) -> None:
+        if isinstance(app, SensorReading) and frame.source is not None:
+            self.forwarded += 1
+            self.mac.send_data(
+                self.uplink, app.to_payload(), on_result=self._forward_result
+            )
+
+    def _forward_result(self, sequence: int, delivered: bool) -> None:
+        if delivered:
+            self.forward_delivered += 1
+        else:
+            self.forward_dropped += 1
 
 
 @dataclass

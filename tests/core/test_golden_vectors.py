@@ -174,6 +174,33 @@ class TestWidebandComposite:
         assert generate.wideband_decisions(mode="sequential") == doc["slots"]
 
 
+class TestFleetGolden:
+    """The fleet campaign vector: counters, curves and ledger, pinned."""
+
+    def test_structure_and_ledger(self):
+        doc = _load("fleet.json")
+        assert doc["seed"] == generate.FLEET_SEED
+        assert doc["num_nodes"] == generate.FLEET_NODES == len(doc["nodes"])
+        assert doc["num_pans"] == generate.FLEET_PANS
+        assert doc["attack"] is True
+        assert doc["ledger_balanced"] is True
+        ledger = doc["ledger"]
+        assert ledger["medium.deliveries.scheduled"] == (
+            ledger["medium.deliveries.delivered"]
+            + ledger.get("medium.deliveries.skipped", 0)
+        )
+
+    def test_attack_visibly_drains_the_fleet(self):
+        doc = _load("fleet.json")
+        assert doc["flood_frames"] > 0
+        assert doc["battery_curve"][0] == 1.0
+        assert doc["battery_curve"][-1] < 0.5
+        battery_nodes = [
+            n for n in doc["nodes"] if n["role"] != "coordinator"
+        ]
+        assert doc["alive_curve"][0] == len(battery_nodes)
+
+
 class TestCachedSynthesisGolden:
     """Cached waveform synthesis must match the direct modulator on every
     golden per-channel TX stream (the signals that actually go on air)."""

@@ -20,6 +20,10 @@ encoding pipeline itself:
   batch-decoded.  Stores only decision-level values (payload bytes, FCS
   verdicts, sync indices, integer LLR margins) from a fixed seed, so the
   file stays byte-stable while pinning the whole wideband receive chain.
+* ``fleet.json`` — a fixed-seed 24-node / 2-PAN depletion campaign on the
+  sharded medium: per-node delivery/drop/retry counters, battery curves,
+  depletion times and the medium's delivery ledger.  Pins the whole fleet
+  stack (topology builder, MAC, energy model, sharded delivery, merge).
 
 Every value is derived deterministically (the wideband vector from one
 pinned PCG64 seed, everything else with no RNG at all — and never from a
@@ -213,12 +217,41 @@ def build_wideband() -> Dict:
     }
 
 
+#: Pinned parameters of the fleet campaign vector.
+FLEET_SEED = 24
+FLEET_NODES = 24
+FLEET_PANS = 2
+FLEET_DURATION_S = 1.0
+FLEET_FLOOD_RATE_HZ = 100.0
+
+
+def build_fleet() -> Dict:
+    from repro.experiments.fleet import run_fleet_campaign
+    from repro.zigbee.fleet import make_fleet
+
+    spec = make_fleet(
+        num_nodes=FLEET_NODES, num_pans=FLEET_PANS, seed=FLEET_SEED
+    )
+    result = run_fleet_campaign(
+        spec,
+        duration_s=FLEET_DURATION_S,
+        attack=True,
+        flood_rate_hz=FLEET_FLOOD_RATE_HZ,
+        medium_kind="sharded",
+    )
+    assert result.ledger_balanced, "golden fleet campaign ledger unbalanced"
+    doc = result.to_dict()
+    doc["seed"] = FLEET_SEED
+    return doc
+
+
 CORPUS = {
     "table1_pn_sequences.json": build_table1,
     "algorithm1_msk.json": build_algorithm1,
     "tx_streams.json": build_tx_streams,
     "roundtrip.json": build_roundtrip,
     "wideband.json": build_wideband,
+    "fleet.json": build_fleet,
 }
 
 

@@ -75,6 +75,7 @@ class TestTraceBus:
             "serve.stage",
             "channelizer.split",
             "channelizer.compose",
+            "fleet.sample",
         } == set(EVENT_NAMES)
 
 

@@ -1,7 +1,7 @@
 """Smoke tests for the perf-bench suite (so it can't rot).
 
 Runs every microbenchmark at quick-workload size, validates the
-``BENCH_PR8.json`` schema, and enforces the acceptance floors: the
+``BENCH_PR9.json`` schema, and enforces the acceptance floors: the
 vectorised decoder must be at least 5x the scalar reference, the cached
 waveform synthesis at least 3x the direct modulator, and the wideband
 sweep must beat the narrowband pipeline outright even at smoke size.
@@ -40,6 +40,8 @@ class TestSuite:
             "table3_cell_wall_clock",
             "channelizer_16ch",
             "table3_sweep_wideband",
+            "fleet_medium_scan",
+            "fleet_campaign_sharded",
         }
 
     def test_values_positive(self, quick_records):
@@ -71,18 +73,33 @@ class TestSuite:
         assert sweep.extra["speedup_vs_sequential"] >= 0.8
         assert sweep.extra["narrowband_ms_per_frame"] > 0
 
+    def test_fleet_campaign_beats_legacy_dense(self, quick_records):
+        """Acceptance: even at smoke size the sharded campaign clearly
+        beats the legacy unbounded broadcast medium, and the
+        equal-semantics scan curve is recorded for every size."""
+        campaign = next(
+            r for r in quick_records if r.name == "fleet_campaign_sharded"
+        )
+        assert campaign.extra["speedup_vs_dense"] >= 2.0
+        scan = next(
+            r for r in quick_records if r.name == "fleet_medium_scan"
+        )
+        assert scan.extra["speedup_vs_dense"] > 0
+        assert scan.extra["dense_ms_100"] > 0
+        assert scan.extra["sharded_ms_100"] > 0
+
     def test_report_schema(self, quick_records, tmp_path):
         sys.path.insert(0, str(REPO_ROOT))
         try:
             from benchmarks.perf import write_report
         finally:
             sys.path.remove(str(REPO_ROOT))
-        path = tmp_path / "BENCH_PR8.json"
+        path = tmp_path / "BENCH_PR9.json"
         report = write_report(quick_records, str(path), quick=True)
         on_disk = json.loads(path.read_text())
         assert on_disk == report
         assert on_disk["schema"] == "wazabee-bench/1"
-        assert on_disk["suite"] == "BENCH_PR8"
+        assert on_disk["suite"] == "BENCH_PR9"
         assert on_disk["quick"] is True
         for body in on_disk["benchmarks"].values():
             assert set(body) == {"metric", "value", "repeats", "extra"}
@@ -121,7 +138,7 @@ class TestBaselineGate:
 
 class TestCliEntryPoint:
     def test_module_invocation_writes_report(self, tmp_path):
-        out = tmp_path / "BENCH_PR8.json"
+        out = tmp_path / "BENCH_PR9.json"
         env = dict(os.environ)
         env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}:{REPO_ROOT}"
         result = subprocess.run(

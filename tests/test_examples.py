@@ -38,6 +38,13 @@ def _shrink_smartphone_injection(module):
     )
 
 
+def _shrink_fleet_campaign(module):
+    # 12 nodes / 2 PANs / 1.5 s keeps the baseline/attack comparison fast.
+    module.NODES = 12
+    module.PANS = 2
+    module.run = functools.partial(module.run, duration_s=1.5)
+
+
 def _shrink_live_sniffer(module):
     # 12 streamed frames still exercise subscribe -> decode -> IDS.
     module.FRAMES = 12
@@ -56,6 +63,7 @@ EXAMPLES = {
     "quickstart": (None, "both primitives work"),
     "cross_modulation_tour": (None, ""),
     "energy_depletion": (_shrink_energy_depletion, "baseline:"),
+    "fleet_campaign": (_shrink_fleet_campaign, "under attack"),
     "live_sniffer": (_shrink_live_sniffer, "IDS alert [new-band]"),
     "sixlowpan_exfiltration": (None, ""),
     "smartphone_injection": (_shrink_smartphone_injection, "advertising events"),
